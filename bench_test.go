@@ -1,0 +1,411 @@
+package yat
+
+// The benchmark harness of EXPERIMENTS.md: one benchmark (or benchmark
+// family) per reproduced figure of the paper, plus the transfer/crossover
+// sweeps the claims of Section 5.3 imply. Absolute numbers depend on this
+// substrate; the *shapes* (who wins, by what factor, where the crossover
+// falls) are the reproduction targets recorded in EXPERIMENTS.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/filter"
+	"repro/internal/mediator"
+	"repro/internal/o2wrap"
+	"repro/internal/tab"
+	"repro/internal/waiswrap"
+)
+
+// benchSetup wires the cultural mediator over a generated workload.
+func benchSetup(b *testing.B, n int) (*mediator.Mediator, *datagen.Workload) {
+	b.Helper()
+	w := datagen.Generate(datagen.DefaultParams(n))
+	m, _, _, err := NewCulturalMediator(w.DB, w.Works)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, w
+}
+
+// sourceCtx builds an evaluation context backed by the two wrappers.
+func sourceCtx(w *datagen.Workload) *algebra.Context {
+	ctx := algebra.NewContext()
+	ow := o2wrap.New("o2artifact", w.DB)
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(w.Works))
+	ctx.Sources["o2artifact"] = ow
+	ctx.Sources["xmlartwork"] = ww
+	ctx.Funcs["contains"] = waiswrap.Contains
+	return ctx
+}
+
+func mustEval(b *testing.B, op algebra.Op, ctx *algebra.Context) int {
+	b.Helper()
+	res, err := op.Eval(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Len()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — the Bind and Tree operators
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig4Bind(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("works=%d", n), func(b *testing.B) {
+			w := datagen.Generate(datagen.DefaultParams(n))
+			ctx := algebra.NewContext()
+			ctx.Catalog["works"] = w.Works
+			bind := &algebra.Bind{Doc: "works", F: filter.MustParse(
+				`works[ *work[ artist: $a, title: $t, style: $s, size: $si, *($fields) ] ]`)}
+			ctx.Catalog["works"] = wrapWorks(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustEval(b, bind, ctx)
+			}
+		})
+	}
+}
+
+func BenchmarkFig4Tree(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("works=%d", n), func(b *testing.B) {
+			w := datagen.Generate(datagen.DefaultParams(n))
+			ctx := algebra.NewContext()
+			ctx.Catalog["works"] = wrapWorks(w)
+			plan := &algebra.TreeOp{
+				From: &algebra.Bind{Doc: "works", F: filter.MustParse(
+					`works[ *work[ artist: $a, title: $t ] ]`)},
+				C: algebra.MustParseCons(`artists[ *($a) artist[ name: $a, *($t) title: $t ] ]`),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustEval(b, plan, ctx)
+			}
+		})
+	}
+}
+
+func wrapWorks(w *datagen.Workload) []*Node {
+	root := &Node{Label: "works"}
+	root.Kids = append(root.Kids, w.Works...)
+	return []*Node{root}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 (upper) — Bind vs DJoin split vs Join with the extent
+// ---------------------------------------------------------------------------
+
+// fig7Plans builds the three equivalent plans of Figure 7's upper row: the
+// monolithic Bind navigating owner references, its DJoin split, and the
+// Join against the persons extent with hashable identifier columns.
+func fig7Plans() (mono, split, join algebra.Op) {
+	mono = &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+		`set[ *class[ artifact.tuple[ title: $t,
+		      owners.list[ *class[ person.tuple[ name: $o ] ] ] ] ] ]`)}
+	split = &algebra.DJoin{
+		L: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+			`set[ *class[ artifact.tuple[ title: $t, owners@$ow ] ] ]`)},
+		R: &algebra.Bind{Col: "$ow", F: filter.MustParse(
+			`owners.list[ *class[ person.tuple[ name: $o ] ] ]`)},
+	}
+	join = &algebra.Join{
+		L: &algebra.MapExpr{
+			From: &algebra.DJoin{
+				L: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+					`set[ *class[ artifact.tuple[ title: $t, owners@$ow ] ] ]`)},
+				R: &algebra.Bind{Col: "$ow", F: filter.MustParse(`owners.list[ *%@$ref ]`)},
+			},
+			Col: "$rid", E: algebra.MustParseExpr(`id($ref)`),
+		},
+		R: &algebra.MapExpr{
+			From: &algebra.Bind{Doc: "persons", F: filter.MustParse(
+				`set[ *class@$p[ person.tuple[ name: $o ] ] ]`)},
+			Col: "$pid", E: algebra.MustParseExpr(`id($p)`),
+		},
+		Pred: algebra.MustParseExpr(`$rid = $pid`),
+	}
+	return mono, split, join
+}
+
+func BenchmarkFig7BindSplitJoin(b *testing.B) {
+	mono, split, join := fig7Plans()
+	for _, n := range []int{100, 1000} {
+		w := datagen.Generate(datagen.DefaultParams(n))
+		for _, bench := range []struct {
+			name string
+			plan algebra.Op
+			proj []string
+		}{
+			{"MonolithicBind", mono, []string{"$t", "$o"}},
+			{"DJoinSplit", split, []string{"$t", "$o"}},
+			{"JoinWithExtent", join, []string{"$t", "$o"}},
+		} {
+			b.Run(fmt.Sprintf("%s/artifacts=%d", bench.name, n), func(b *testing.B) {
+				plan := &algebra.Project{From: bench.plan, Cols: bench.proj}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					ctx := sourceCtx(w) // fresh fetch each round: store population included
+					b.StartTimer()
+					mustEval(b, plan, ctx)
+				}
+			})
+		}
+	}
+}
+
+// TestFig7PlansEquivalent pins the equivalence the benchmark relies on.
+func TestFig7PlansEquivalent(t *testing.T) {
+	mono, split, join := fig7Plans()
+	w := datagen.Generate(datagen.DefaultParams(60))
+	var results []*Tab
+	for _, plan := range []algebra.Op{mono, split, join} {
+		p := &algebra.Project{From: plan, Cols: []string{"$t", "$o"}}
+		res, err := p.Eval(sourceCtx(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !results[0].EqualUnordered(results[1]) || !results[0].EqualUnordered(results[2]) {
+		t.Fatalf("Figure 7 plans disagree: %d / %d / %d rows",
+			results[0].Len(), results[1].Len(), results[2].Len())
+	}
+	if results[0].Len() == 0 {
+		t.Fatal("empty benchmark fixture")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 (lower middle) — projection/type-driven Bind simplification
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig7TypeSimplification(b *testing.B) {
+	full := filter.MustParse(
+		`works[ *work[ artist: $a, title: $t, style: $s, size: $si, *($fields) ] ]`)
+	simplified := filter.MustParse(`works[ *work[ title: $t ] ]`)
+	for _, n := range []int{1000, 10000} {
+		w := datagen.Generate(datagen.DefaultParams(n))
+		forest := wrapWorks(w)
+		for _, bench := range []struct {
+			name string
+			f    *filter.Filter
+		}{
+			{"FullFilter", full},
+			{"SimplifiedFilter", simplified},
+		} {
+			b.Run(fmt.Sprintf("%s/works=%d", bench.name, n), func(b *testing.B) {
+				ctx := algebra.NewContext()
+				ctx.Catalog["works"] = forest
+				plan := &algebra.Project{
+					From: &algebra.Bind{Doc: "works", F: bench.f},
+					Cols: []string{"$t"},
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mustEval(b, plan, ctx)
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — Q1: naive composition vs optimized
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig8Q1(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		m, _ := benchSetup(b, n)
+		b.Run(fmt.Sprintf("Naive/artifacts=%d", n), func(b *testing.B) {
+			benchQuery(b, m, Q1, true)
+		})
+		b.Run(fmt.Sprintf("Optimized/artifacts=%d", n), func(b *testing.B) {
+			benchQuery(b, m, Q1, false)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — Q2: naive vs mediator-side optimized vs capability pushdown
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig9Q2(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		w := datagen.Generate(datagen.DefaultParams(n))
+		m, _, _, err := NewCulturalMediator(w.DB, w.Works)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Naive/artifacts=%d", n), func(b *testing.B) {
+			benchQuery(b, m, Q2, true)
+		})
+		b.Run(fmt.Sprintf("Pushdown/artifacts=%d", n), func(b *testing.B) {
+			benchQuery(b, m, Q2, false)
+		})
+	}
+}
+
+func benchQuery(b *testing.B, m *mediator.Mediator, src string, naive bool) {
+	b.Helper()
+	run := func() *mediator.Result {
+		var res *mediator.Result
+		var err error
+		if naive {
+			res, err = m.QueryNaive(src)
+		} else {
+			res, err = m.Query(src)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(first.Stats.BytesShipped), "bytes-shipped")
+	b.ReportMetric(float64(first.Stats.TuplesShipped), "tuples-shipped")
+	b.ReportMetric(float64(first.Stats.SourceFetches), "fetches")
+	b.ReportMetric(float64(first.Stats.SourcePushes), "pushes")
+}
+
+// ---------------------------------------------------------------------------
+// E11 — information passing crossover: bind join vs fetch-all join
+// ---------------------------------------------------------------------------
+
+func BenchmarkE11JoinCrossover(b *testing.B) {
+	// Left side cardinality varies (the number of works surviving the
+	// contains selection); the right side is the O₂ source. The bind join
+	// (DJoin) queries O₂ once per left row with parameters; the fetch-all
+	// join ships the whole pushed extent once and joins at the mediator.
+	const n = 2000
+	w := datagen.Generate(datagen.DefaultParams(n))
+	o2Bind := func() algebra.Op {
+		return &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+			`set[ *class[ artifact.tuple[ title: $t2, price: $p ] ] ]`)}
+	}
+	for _, k := range []int{1, 16, 256, 1024} {
+		left := leftRows(w, k)
+		b.Run(fmt.Sprintf("BindJoin/left=%d", k), func(b *testing.B) {
+			plan := &algebra.DJoin{
+				L: &algebra.Literal{T: left},
+				R: &algebra.SourceQuery{Source: "o2artifact",
+					Plan: &algebra.Select{From: o2Bind(), Pred: algebra.MustParseExpr(`$t2 = $t`)}},
+			}
+			runCrossover(b, plan, w)
+		})
+		b.Run(fmt.Sprintf("FetchAllJoin/left=%d", k), func(b *testing.B) {
+			plan := &algebra.Join{
+				L:    &algebra.Literal{T: left},
+				R:    &algebra.SourceQuery{Source: "o2artifact", Plan: o2Bind()},
+				Pred: algebra.MustParseExpr(`$t = $t2`),
+			}
+			runCrossover(b, plan, w)
+		})
+	}
+}
+
+func leftRows(w *datagen.Workload, k int) *tab.Tab {
+	t := tab.New("$t")
+	for i := 0; i < k && i < len(w.Works); i++ {
+		title := w.Works[i].Child("title")
+		t.Add(tab.AtomCell(data.String(title.Atom.S)))
+	}
+	return t
+}
+
+func runCrossover(b *testing.B, plan algebra.Op, w *datagen.Workload) {
+	b.Helper()
+	ctx := sourceCtx(w)
+	res, err := plan.Eval(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Len() == 0 {
+		b.Fatal("empty crossover result")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Eval(sourceCtx(w)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ctx.Stats.TuplesShipped), "tuples-shipped")
+}
+
+// ---------------------------------------------------------------------------
+// E12 — source indexes under pushdown (Section 5.3's associative access)
+// ---------------------------------------------------------------------------
+
+func BenchmarkE12SourceIndex(b *testing.B) {
+	const n = 5000
+	for _, indexed := range []bool{false, true} {
+		name := "Scan"
+		if indexed {
+			name = "Indexed"
+		}
+		b.Run(fmt.Sprintf("%s/artifacts=%d", name, n), func(b *testing.B) {
+			w := datagen.Generate(datagen.DefaultParams(n))
+			if indexed {
+				if err := w.DB.BuildIndex("Artifact", "title"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ow := o2wrap.New("o2artifact", w.DB)
+			plan := &algebra.Select{
+				From: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+					`set[ *class[ artifact.tuple[ title: $t, price: $p ] ] ]`)},
+				Pred: algebra.MustParseExpr(`$t = "Painting 777"`),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ow.Push(plan, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E14 — optimizer overhead (the "simple linear search strategy" of §6)
+// ---------------------------------------------------------------------------
+
+func BenchmarkE14OptimizerOverhead(b *testing.B) {
+	m, _ := benchSetup(b, 100)
+	for _, q := range []struct{ name, src string }{
+		{"Q1", Q1},
+		{"Q2", Q2},
+	} {
+		naive, err := m.Compose(q.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(q.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Optimize(naive)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// Command o2-wrapper is the generic O₂ wrapper of Figure 2: it serves an
+// O₂ database's structural information, capability interface, documents and
+// pushed OQL evaluation over the YAT wire protocol.
+//
+// Usage:
+//
+//	o2-wrapper -port 6066 [-artifacts 0] [-seed 42] [-system cultural] [-base art]
+//
+// With -artifacts 0 (the default) the wrapper serves the paper's running
+// example (Nympheas, Waterloo Bridge, Old Canvas); larger values serve a
+// deterministic generated trading database of that size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/o2"
+	"repro/internal/o2wrap"
+	"repro/internal/wire"
+)
+
+func main() {
+	port := flag.Int("port", 6066, "TCP port to listen on")
+	artifacts := flag.Int("artifacts", 0, "size of the generated database (0: paper example)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	system := flag.String("system", "cultural", "system name (cosmetic, as in Figure 2)")
+	base := flag.String("base", "art", "base name (cosmetic, as in Figure 2)")
+	flag.Parse()
+
+	var db *o2.DB
+	if *artifacts <= 0 {
+		db = datagen.PaperDB()
+	} else {
+		p := datagen.DefaultParams(*artifacts)
+		p.Seed = *seed
+		db = datagen.Generate(p).DB
+	}
+	w := o2wrap.New("o2artifact", db)
+	schema := w.ExportSchema()
+
+	ln, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "o2-wrapper: %v\n", err)
+		os.Exit(1)
+	}
+	srv := wire.Serve(ln, wire.Exported{
+		Source:    w,
+		Interface: w.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"artifacts": {Model: schema, Pattern: "Artifact"},
+			"persons":   {Model: schema, Pattern: "Person"},
+		},
+	})
+	host, _ := os.Hostname()
+	fmt.Printf(" o2-wrapper is running at %s:%d (system %s, base %s: %d artifacts, %d persons)\n",
+		host, *port, *system, *base, db.ExtentSize("artifacts"), db.ExtentSize("persons"))
+	defer srv.Close()
+	select {} // serve until killed
+}

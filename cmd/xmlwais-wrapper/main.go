@@ -1,0 +1,79 @@
+// Command xmlwais-wrapper is the generic XML-Wais wrapper of Figure 2: it
+// indexes a collection of XML artworks under a Wais source configuration
+// (museum.src) and serves the Artworks structure, the Section 4.2
+// capability interface (whole-document binds + contains) and full-text
+// pushed evaluation over the YAT wire protocol.
+//
+// Usage:
+//
+//	xmlwais-wrapper -port 6060 [-works 0] [-seed 42] [-directory museum.src]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/wais"
+	"repro/internal/waiswrap"
+	"repro/internal/wire"
+)
+
+func main() {
+	port := flag.Int("port", 6060, "TCP port to listen on")
+	works := flag.Int("works", 0, "size of the generated collection (0: paper example)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	directory := flag.String("directory", "", "Wais source configuration file (museum.src format)")
+	flag.Parse()
+
+	cfgSrc := datagen.MuseumSrc
+	if *directory != "" {
+		b, err := os.ReadFile(*directory)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlwais-wrapper: %v\n", err)
+			os.Exit(1)
+		}
+		cfgSrc = string(b)
+	}
+	cfg, err := wais.ParseConfig(cfgSrc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmlwais-wrapper: %v\n", err)
+		os.Exit(1)
+	}
+
+	var docs data.Forest
+	if *works <= 0 {
+		docs = datagen.PaperWorks()
+	} else {
+		p := datagen.DefaultParams(*works)
+		p.Seed = *seed
+		docs = datagen.Generate(p).Works
+	}
+	e := wais.New(cfg.Name)
+	e.Configure(cfg)
+	for _, d := range docs {
+		e.Add(d)
+	}
+	w := waiswrap.New("xmlartwork", e)
+
+	ln, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmlwais-wrapper: %v\n", err)
+		os.Exit(1)
+	}
+	srv := wire.Serve(ln, wire.Exported{
+		Source:    w,
+		Interface: w.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"works": {Model: w.ExportStructure(), Pattern: "Works"},
+		},
+	})
+	host, _ := os.Hostname()
+	fmt.Printf(" xmlwais-wrapper is running at %s:%d (source %s: %d documents, %d terms)\n",
+		host, *port, cfg.Name, e.Size(), e.Terms())
+	defer srv.Close()
+	select {} // serve until killed
+}

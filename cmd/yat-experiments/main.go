@@ -1,0 +1,377 @@
+// Command yat-experiments regenerates every table of EXPERIMENTS.md: the
+// per-figure experiments (F7, F8, F9), the transfer sweep (E10), the
+// information-passing crossover (E11), the source-index ablation (E12) and
+// the optimizer-round ablation (E13). Each table reports measured wall
+// time, shipped bytes/tuples and source calls; correctness is asserted
+// against the generator's ground truth on every run.
+//
+// Usage:
+//
+//	yat-experiments [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/datagen"
+	"repro/internal/filter"
+	"repro/internal/mediator"
+	"repro/internal/o2wrap"
+	"repro/internal/optimizer"
+	"repro/internal/tab"
+	"repro/internal/waiswrap"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sizes, fewer repetitions")
+	flag.Parse()
+	sizes := []int{250, 1000, 4000}
+	sweep := []int{250, 500, 1000, 2000, 4000}
+	if *quick {
+		sizes = []int{100, 400}
+		sweep = []int{100, 200, 400}
+	}
+	if err := run(sizes, sweep); err != nil {
+		fmt.Fprintf(os.Stderr, "yat-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(sizes, sweep []int) error {
+	fmt.Println("YAT reproduction experiments — regenerating the EXPERIMENTS.md tables")
+	fmt.Println("(deterministic workload: datagen.DefaultParams, seed 42)")
+	if err := figure7(sizes); err != nil {
+		return err
+	}
+	if err := figure8(sizes); err != nil {
+		return err
+	}
+	if err := figure9(sizes); err != nil {
+		return err
+	}
+	if err := e10(sweep); err != nil {
+		return err
+	}
+	if err := e11(); err != nil {
+		return err
+	}
+	if err := e12(); err != nil {
+		return err
+	}
+	if err := e13(sizes[len(sizes)-1]); err != nil {
+		return err
+	}
+	return nil
+}
+
+func setup(n int) (*mediator.Mediator, *datagen.Workload, error) {
+	w := datagen.Generate(datagen.DefaultParams(n))
+	m, err := culturalMediator(w)
+	return m, w, err
+}
+
+func culturalMediator(w *datagen.Workload) (*mediator.Mediator, error) {
+	ow := o2wrap.New("o2artifact", w.DB)
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(w.Works))
+	m := mediator.New()
+	if err := m.Connect(ow, ow.ExportInterface()); err != nil {
+		return nil, err
+	}
+	if err := m.Connect(ww, ww.ExportInterface()); err != nil {
+		return nil, err
+	}
+	schema := ow.ExportSchema()
+	m.ImportStructure("artifacts", schema, "Artifact")
+	m.ImportStructure("persons", schema, "Person")
+	m.ImportStructure("works", ww.ExportStructure(), "Works")
+	m.RegisterFunc("contains", waiswrap.Contains)
+	for name, fn := range ow.Funcs() {
+		m.RegisterFunc(name, fn)
+	}
+	if err := m.LoadProgram(datagen.View1Src); err != nil {
+		return nil, err
+	}
+	m.Assume("artifacts", "works", "$y > 1800")
+	m.Assume("persons", "works", "$y > 1800")
+	return m, nil
+}
+
+func med(fn func() (*mediator.Result, error)) (*mediator.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := fn()
+	return res, time.Since(start), err
+}
+
+const rowFmt = "%-26s %8d %12s %10d %8d %8d %8d\n"
+const headFmt = "%-26s %8s %12s %10s %8s %8s %8s\n"
+
+func printHead(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+	fmt.Printf(headFmt, "plan", "rows", "time", "bytes", "tuples", "fetches", "pushes")
+}
+
+func printRow(name string, res *mediator.Result, d time.Duration) {
+	fmt.Printf(rowFmt, name, res.Tab.Len(), d.Round(10*time.Microsecond),
+		res.Stats.BytesShipped, res.Stats.TuplesShipped,
+		res.Stats.SourceFetches, res.Stats.SourcePushes)
+}
+
+// figure7 times the three equivalent Figure 7 plans (monolithic Bind,
+// DJoin split, Join with the persons extent).
+func figure7(sizes []int) error {
+	fmt.Println("\n== F7: Bind splitting and DJoin-to-Join (Figure 7, upper row) ==")
+	fmt.Printf("%-10s %20s %20s %20s\n", "artifacts", "monolithic Bind", "DJoin split", "Join w/ extent")
+	for _, n := range sizes {
+		w := datagen.Generate(datagen.DefaultParams(n))
+		plans := fig7Plans()
+		var times [3]time.Duration
+		var rows [3]int
+		for i, plan := range plans {
+			p := &algebra.Project{From: plan, Cols: []string{"$t", "$o"}}
+			ctx := sourceCtx(w)
+			start := time.Now()
+			res, err := p.Eval(ctx)
+			if err != nil {
+				return err
+			}
+			times[i] = time.Since(start)
+			rows[i] = res.Len()
+		}
+		if rows[0] != rows[1] || rows[0] != rows[2] {
+			return fmt.Errorf("F7 plans disagree: %v", rows)
+		}
+		fmt.Printf("%-10d %20s %20s %20s   (%d rows each)\n", n,
+			times[0].Round(10*time.Microsecond), times[1].Round(10*time.Microsecond),
+			times[2].Round(10*time.Microsecond), rows[0])
+	}
+	return nil
+}
+
+func fig7Plans() [3]algebra.Op {
+	mono := algebra.Op(&algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+		`set[ *class[ artifact.tuple[ title: $t,
+		      owners.list[ *class[ person.tuple[ name: $o ] ] ] ] ] ]`)})
+	split := algebra.Op(&algebra.DJoin{
+		L: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+			`set[ *class[ artifact.tuple[ title: $t, owners@$ow ] ] ]`)},
+		R: &algebra.Bind{Col: "$ow", F: filter.MustParse(
+			`owners.list[ *class[ person.tuple[ name: $o ] ] ]`)},
+	})
+	join := algebra.Op(&algebra.Join{
+		L: &algebra.MapExpr{
+			From: &algebra.DJoin{
+				L: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+					`set[ *class[ artifact.tuple[ title: $t, owners@$ow ] ] ]`)},
+				R: &algebra.Bind{Col: "$ow", F: filter.MustParse(`owners.list[ *%@$ref ]`)},
+			},
+			Col: "$rid", E: algebra.MustParseExpr(`id($ref)`),
+		},
+		R: &algebra.MapExpr{
+			From: &algebra.Bind{Doc: "persons", F: filter.MustParse(
+				`set[ *class@$p[ person.tuple[ name: $o ] ] ]`)},
+			Col: "$pid", E: algebra.MustParseExpr(`id($p)`),
+		},
+		Pred: algebra.MustParseExpr(`$rid = $pid`),
+	})
+	return [3]algebra.Op{mono, split, join}
+}
+
+func sourceCtx(w *datagen.Workload) *algebra.Context {
+	ctx := algebra.NewContext()
+	ctx.Sources["o2artifact"] = o2wrap.New("o2artifact", w.DB)
+	ctx.Sources["xmlartwork"] = waiswrap.New("xmlartwork", datagen.NewWaisEngine(w.Works))
+	ctx.Funcs["contains"] = waiswrap.Contains
+	return ctx
+}
+
+func figure8(sizes []int) error {
+	for _, n := range sizes {
+		m, w, err := setup(n)
+		if err != nil {
+			return err
+		}
+		printHead(fmt.Sprintf("F8: Q1 naive vs optimized (artifacts=%d, ground truth %d rows)", n, len(w.GivernyTitles)))
+		naive, nd, err := med(func() (*mediator.Result, error) { return m.QueryNaive(datagen.Q1Src) })
+		if err != nil {
+			return err
+		}
+		opt, od, err := med(func() (*mediator.Result, error) { return m.Query(datagen.Q1Src) })
+		if err != nil {
+			return err
+		}
+		printRow("naive (materialize view)", naive, nd)
+		printRow("optimized (Fig. 8)", opt, od)
+		if naive.Tab.Len() != len(w.GivernyTitles) || !naive.Tab.EqualUnordered(opt.Tab) {
+			return fmt.Errorf("F8 correctness check failed at n=%d", n)
+		}
+	}
+	return nil
+}
+
+func figure9(sizes []int) error {
+	for _, n := range sizes {
+		m, w, err := setup(n)
+		if err != nil {
+			return err
+		}
+		printHead(fmt.Sprintf("F9: Q2 naive vs pushdown (artifacts=%d, ground truth %d rows)", n, len(w.Q2Titles)))
+		naive, nd, err := med(func() (*mediator.Result, error) { return m.QueryNaive(datagen.Q2Src) })
+		if err != nil {
+			return err
+		}
+		opt, od, err := med(func() (*mediator.Result, error) { return m.Query(datagen.Q2Src) })
+		if err != nil {
+			return err
+		}
+		printRow("naive (materialize view)", naive, nd)
+		printRow("pushdown + info passing", opt, od)
+		if naive.Tab.Len() != len(w.Q2Titles) || !naive.Tab.EqualUnordered(opt.Tab) {
+			return fmt.Errorf("F9 correctness check failed at n=%d", n)
+		}
+	}
+	return nil
+}
+
+func e10(sweep []int) error {
+	fmt.Println("\n== E10: transfer volume sweep (Q2 bytes shipped, naive vs optimized) ==")
+	fmt.Printf("%-10s %12s %12s %8s\n", "artifacts", "naive", "optimized", "ratio")
+	for _, n := range sweep {
+		m, _, err := setup(n)
+		if err != nil {
+			return err
+		}
+		naive, err := m.QueryNaive(datagen.Q2Src)
+		if err != nil {
+			return err
+		}
+		opt, err := m.Query(datagen.Q2Src)
+		if err != nil {
+			return err
+		}
+		ratio := float64(naive.Stats.BytesShipped) / float64(maxI64(opt.Stats.BytesShipped, 1))
+		fmt.Printf("%-10d %12d %12d %7.1fx\n", n, naive.Stats.BytesShipped, opt.Stats.BytesShipped, ratio)
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func e11() error {
+	fmt.Println("\n== E11: information passing crossover (bind join vs fetch-all join, artifacts=2000) ==")
+	fmt.Printf("%-8s %14s %14s %14s %14s\n", "left", "bindjoin time", "fetchall time", "bindjoin tup", "fetchall tup")
+	w := datagen.Generate(datagen.DefaultParams(2000))
+	o2Bind := func() algebra.Op {
+		return &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+			`set[ *class[ artifact.tuple[ title: $t2, price: $p ] ] ]`)}
+	}
+	for _, k := range []int{1, 16, 128, 1024, 1600} {
+		left := tab.New("$t")
+		for i := 0; i < k && i < len(w.Works); i++ {
+			title := w.Works[i].Child("title")
+			left.Add(tab.AtomCell(*title.Atom))
+		}
+		bind := &algebra.DJoin{
+			L: &algebra.Literal{T: left},
+			R: &algebra.SourceQuery{Source: "o2artifact",
+				Plan: &algebra.Select{From: o2Bind(), Pred: algebra.MustParseExpr(`$t2 = $t`)}},
+		}
+		fetch := &algebra.Join{
+			L:    &algebra.Literal{T: left},
+			R:    &algebra.SourceQuery{Source: "o2artifact", Plan: o2Bind()},
+			Pred: algebra.MustParseExpr(`$t = $t2`),
+		}
+		ctx1, ctx2 := sourceCtx(w), sourceCtx(w)
+		t1 := time.Now()
+		r1, err := bind.Eval(ctx1)
+		if err != nil {
+			return err
+		}
+		d1 := time.Since(t1)
+		t2 := time.Now()
+		r2, err := fetch.Eval(ctx2)
+		if err != nil {
+			return err
+		}
+		d2 := time.Since(t2)
+		if !r1.EqualUnordered(r2) {
+			return fmt.Errorf("E11 plans disagree at left=%d (%d vs %d rows)", k, r1.Len(), r2.Len())
+		}
+		fmt.Printf("%-8d %14s %14s %14d %14d\n", k,
+			d1.Round(10*time.Microsecond), d2.Round(10*time.Microsecond),
+			ctx1.Stats.TuplesShipped, ctx2.Stats.TuplesShipped)
+	}
+	return nil
+}
+
+func e12() error {
+	fmt.Println("\n== E12: source index ablation (pushed point query, artifacts=5000) ==")
+	fmt.Printf("%-10s %14s\n", "variant", "time/query")
+	for _, indexed := range []bool{false, true} {
+		p := datagen.DefaultParams(5000)
+		p.NoIndexes = !indexed
+		w := datagen.Generate(p)
+		ow := o2wrap.New("o2artifact", w.DB)
+		plan := &algebra.Select{
+			From: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+				`set[ *class[ artifact.tuple[ title: $t, price: $p ] ] ]`)},
+			Pred: algebra.MustParseExpr(`$t = "Painting 777"`),
+		}
+		const reps = 50
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := ow.Push(plan, nil); err != nil {
+				return err
+			}
+		}
+		name := "scan"
+		if indexed {
+			name = "indexed"
+		}
+		fmt.Printf("%-10s %14s\n", name, (time.Since(start) / reps).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// e13 isolates the optimizer rounds on Q2: composition only, plus
+// capability pushdown, plus information passing.
+func e13(n int) error {
+	m, w, err := setup(n)
+	if err != nil {
+		return err
+	}
+	printHead(fmt.Sprintf("E13: optimizer-round ablation on Q2 (artifacts=%d)", n))
+	variants := []struct {
+		name string
+		tune func(*optimizer.Options)
+	}{
+		{"round 1 only", func(o *optimizer.Options) { o.DisablePushdown = true; o.InfoPassing = false }},
+		{"rounds 1+2", func(o *optimizer.Options) { o.InfoPassing = false }},
+		{"rounds 1+2+3 (full)", nil},
+	}
+	var first *mediator.Result
+	for _, v := range variants {
+		res, d, err := med(func() (*mediator.Result, error) { return m.QueryCustom(datagen.Q2Src, v.tune) })
+		if err != nil {
+			return err
+		}
+		printRow(v.name, res, d)
+		if first == nil {
+			first = res
+		} else if !first.Tab.EqualUnordered(res.Tab) {
+			return fmt.Errorf("E13 variants disagree (%s)", v.name)
+		}
+	}
+	if first.Tab.Len() != len(w.Q2Titles) {
+		return fmt.Errorf("E13 correctness check failed")
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+// Command yat-mediator is the YAT mediator console of Figure 2: it connects
+// remote wrappers, imports their structural and query capabilities, loads
+// YAT_L integration programs and evaluates queries.
+//
+// Usage:
+//
+//	yat-mediator [-script session.txt]
+//
+// The console reads commands from stdin:
+//
+//	connect <name> <host:port>     connect and import a wrapper
+//	import <name>                  (re)import a wrapper's capabilities
+//	load <file>                    load a YAT_L program (view definitions)
+//	assume <dropdoc> <keepdoc>     declare a containment assumption
+//	status                         list sources and views
+//	query  <YAT_L query> ;         optimize and evaluate
+//	naive  <YAT_L query> ;         evaluate without optimization
+//	explain <YAT_L query> ;        show naive and optimized plans
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/mediator"
+	"repro/internal/waiswrap"
+	"repro/internal/wire"
+)
+
+func main() {
+	script := flag.String("script", "", "read commands from a file instead of stdin")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	host, _ := os.Hostname()
+	fmt.Printf(" yat-mediator is running at %s\n", host)
+	if err := repl(in, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func repl(in io.Reader, out io.Writer) error {
+	m := mediator.New()
+	m.RegisterFunc("contains", waiswrap.Contains)
+	clients := map[string]*wire.Client{}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(out, "yat> ")
+	var queryBuf strings.Builder
+	mode := "" // "", "query", "naive", "explain"
+	for sc.Scan() {
+		line := sc.Text()
+		if mode != "" {
+			queryBuf.WriteString(line)
+			queryBuf.WriteByte('\n')
+			if strings.Contains(line, ";") {
+				runQuery(out, m, mode, queryBuf.String())
+				queryBuf.Reset()
+				mode = ""
+			}
+			fmt.Fprint(out, "yat> ")
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			fmt.Fprint(out, "yat> ")
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return nil
+		case "connect":
+			if len(fields) != 3 {
+				fmt.Fprintln(out, "usage: connect <name> <host:port>")
+				break
+			}
+			if err := connect(m, clients, fields[1], fields[2]); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintf(out, " connected %s at %s\n", fields[1], fields[2])
+			}
+		case "import":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: import <name>")
+				break
+			}
+			if err := importCaps(m, clients, fields[1]); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintf(out, " imported %s\n", fields[1])
+			}
+		case "load":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: load <file>")
+				break
+			}
+			b, err := os.ReadFile(strings.Trim(fields[1], `"`))
+			if err == nil {
+				err = m.LoadProgram(string(b))
+			}
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintf(out, " loaded %s (views: %s)\n", fields[1], strings.Join(m.Views(), ", "))
+			}
+		case "assume":
+			if len(fields) < 3 {
+				fmt.Fprintln(out, "usage: assume <dropdoc> <keepdoc> [modulo predicate...]")
+				break
+			}
+			modulo := ""
+			if len(fields) > 3 {
+				modulo = strings.Join(fields[3:], " ")
+			}
+			if modulo != "" {
+				m.Assume(fields[1], fields[2], modulo)
+			} else {
+				m.Assume(fields[1], fields[2])
+			}
+			fmt.Fprintf(out, " assuming %s ⊆ %s\n", fields[1], fields[2])
+		case "status":
+			fmt.Fprint(out, m.Describe())
+		case "query", "naive", "explain":
+			mode = fields[0]
+			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+			queryBuf.WriteString(rest)
+			queryBuf.WriteByte('\n')
+			if strings.Contains(rest, ";") {
+				runQuery(out, m, mode, queryBuf.String())
+				queryBuf.Reset()
+				mode = ""
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, query, naive, explain, quit)\n", fields[0])
+		}
+		fmt.Fprint(out, "yat> ")
+	}
+	return sc.Err()
+}
+
+func connect(m *mediator.Mediator, clients map[string]*wire.Client, name, addr string) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	clients[name] = c
+	iface, err := c.ImportInterface()
+	if err != nil {
+		iface = nil // sources without capability descriptions still work (fetch-only)
+	}
+	if err := m.Connect(c, iface); err != nil {
+		return err
+	}
+	return importStructures(m, c)
+}
+
+func importCaps(m *mediator.Mediator, clients map[string]*wire.Client, name string) error {
+	c, ok := clients[name]
+	if !ok {
+		return fmt.Errorf("not connected: %s", name)
+	}
+	return importStructures(m, c)
+}
+
+func importStructures(m *mediator.Mediator, c *wire.Client) error {
+	sts, err := c.ImportStructures()
+	if err != nil {
+		return err
+	}
+	for doc, ref := range sts {
+		m.ImportStructure(doc, ref.Model, ref.Pattern)
+	}
+	return nil
+}
+
+func runQuery(out io.Writer, m *mediator.Mediator, mode, src string) {
+	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	switch mode {
+	case "explain":
+		naive, err := m.Compose(src)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		opt := m.Optimize(naive)
+		fmt.Fprintf(out, "naive plan:\n%s\noptimized plan:\n%s",
+			indent(algebra.Describe(naive)), indent(algebra.Describe(opt)))
+	case "naive":
+		res, err := m.QueryNaive(src)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		printResult(out, res)
+	default:
+		res, err := m.Query(src)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		printResult(out, res)
+	}
+}
+
+func printResult(out io.Writer, res *mediator.Result) {
+	fmt.Fprint(out, res.Tab.String())
+	fmt.Fprintf(out, " %d rows (fetches=%d pushes=%d tuples=%d bytes=%d)\n",
+		res.Tab.Len(), res.Stats.SourceFetches, res.Stats.SourcePushes,
+		res.Stats.TuplesShipped, res.Stats.BytesShipped)
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

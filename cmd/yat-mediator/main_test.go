@@ -1,0 +1,113 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/o2wrap"
+	"repro/internal/waiswrap"
+	"repro/internal/wire"
+)
+
+// startWrappers brings up the two Figure 2 wrappers on ephemeral ports.
+func startWrappers(t *testing.T) (o2Addr, waisAddr string) {
+	t.Helper()
+	ow := o2wrap.New("o2artifact", datagen.PaperDB())
+	schema := ow.ExportSchema()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := wire.Serve(ln1, wire.Exported{
+		Source:    ow,
+		Interface: ow.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"artifacts": {Model: schema, Pattern: "Artifact"},
+			"persons":   {Model: schema, Pattern: "Person"},
+		},
+	})
+	t.Cleanup(s1.Close)
+
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(datagen.PaperWorks()))
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := wire.Serve(ln2, wire.Exported{
+		Source:    ww,
+		Interface: ww.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"works": {Model: ww.ExportStructure(), Pattern: "Works"},
+		},
+	})
+	t.Cleanup(s2.Close)
+	return s1.Addr(), s2.Addr()
+}
+
+func TestConsoleSession(t *testing.T) {
+	o2Addr, waisAddr := startWrappers(t)
+	viewFile := filepath.Join(t.TempDir(), "view1.yat")
+	if err := os.WriteFile(viewFile, []byte(datagen.View1Src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	session := strings.Join([]string{
+		"connect o2artifact " + o2Addr,
+		"connect xmlartwork " + waisAddr,
+		"load " + viewFile,
+		"assume artifacts works $y > 1800",
+		"assume persons works $y > 1800",
+		"status",
+		"query MAKE $t MATCH artworks WITH doc[ *work[ title: $t, more.cplace: $cl ] ] WHERE $cl = \"Giverny\" ;",
+		"explain MAKE $t MATCH artworks WITH doc[ *work[ title: $t ] ] ;",
+		"naive MAKE $t",
+		"MATCH artworks WITH doc[ *work[ title: $t ] ] ;",
+		"query MAKE $t MATCH nosuchdoc WITH doc[ *x[ t: $t ] ] ;",
+		"bogus command",
+		"quit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := repl(strings.NewReader(session), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"connected o2artifact",
+		"connected xmlartwork",
+		"views: artworks",
+		"Nympheas",
+		"optimized plan:",
+		"SourceQuery",
+		"Waterloo Bridge", // from the naive all-titles query
+		"error:",          // unknown document
+		"unknown command",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("session output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestConsoleUsageErrors(t *testing.T) {
+	session := strings.Join([]string{
+		"connect onlyname",
+		"import notconnected",
+		"load /no/such/file.yat",
+		"assume x",
+		"connect bad 127.0.0.1:1", // nothing listens there
+		"exit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := repl(strings.NewReader(session), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"usage: connect", "not connected", "error:", "usage: assume"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q in:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Capability pushdown: a tour of Section 4 — how wrappers describe their
+// query capabilities and how the mediator exploits them.
+//
+// The example prints the O₂ operational interface of Figure 6 and the Wais
+// interface of Section 4.2 in their XML exchange format, shows which
+// filters each source accepts, displays the OQL the O₂ wrapper generates
+// for the Section 4.1 example, and demonstrates the contains/equality
+// equivalence during Q2 optimization.
+//
+//	go run ./examples/capability-pushdown
+package main
+
+import (
+	"fmt"
+	"os"
+
+	yat "repro"
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/filter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "capability-pushdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ow := yat.NewO2Wrapper("o2artifact", yat.PaperDB())
+	ww := yat.NewWaisWrapper("xmlartwork", yat.PaperWorks())
+
+	fmt.Println("== O2 operational interface (Figure 6) ==")
+	fmt.Println(capability.Marshal(ow.ExportInterface()))
+	fmt.Println("== XML-Wais operational interface (Section 4.2) ==")
+	fmt.Println(capability.Marshal(ww.ExportInterface()))
+
+	fmt.Println("== Filter acceptance ==")
+	o2i, wi := ow.ExportInterface(), ww.ExportInterface()
+	checks := []struct {
+		iface *capability.Interface
+		doc   string
+		src   string
+	}{
+		{o2i, "artifacts", `set[ *class[ artifact.tuple[ title: $t, year: $y ] ] ]`},
+		{o2i, "artifacts", `set[ *class[ artifact.tuple[ *~$attr: $v ] ] ]`},
+		{wi, "works", `works[ *work@$w ]`},
+		{wi, "works", `works[ *work[ title: $t ] ]`},
+	}
+	for _, c := range checks {
+		f := filter.MustParse(c.src)
+		if err := c.iface.AcceptsFilter(c.doc, f); err != nil {
+			fmt.Printf("  %-12s REJECTS %s\n    reason: %v\n", c.iface.Name, c.src, err)
+		} else {
+			fmt.Printf("  %-12s accepts %s\n", c.iface.Name, c.src)
+		}
+	}
+
+	fmt.Println("\n== Section 4.1: the wrapper translates a pushed plan to OQL ==")
+	plan := &algebra.Select{
+		From: &algebra.Bind{Doc: "artifacts", F: filter.MustParse(
+			`set[ *class[ artifact.tuple[ title: $t, year: $y, creator: $c, price: $p,
+			      owners.list[ *class[ person.tuple[ name: $n, auction: $au ] ] ] ] ] ]`)},
+		Pred: algebra.MustParseExpr(`$y > 1800`),
+	}
+	fmt.Println("pushed algebra:")
+	fmt.Print(yat.DescribePlan(plan))
+	res, err := ow.Push(plan, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("generated OQL:")
+	fmt.Println(ow.LastOQL)
+	fmt.Printf("result (%d rows):\n%s\n", res.Len(), res)
+
+	fmt.Println("== Section 4.2: the contains equivalence during Q2 ==")
+	med, ow2, ww2, err := yat.NewCulturalMediator(yat.PaperDB(), yat.PaperWorks())
+	if err != nil {
+		return err
+	}
+	med.Trace = func(line string) { fmt.Println("  [optimizer] " + firstLine(line)) }
+	q2, err := med.Query(yat.Q2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("optimized Q2 plan:")
+	fmt.Print(q2.Plan)
+	fmt.Printf("full-text search executed by Wais: %q\n", ww2.LastSearch)
+	fmt.Printf("parameterized OQL executed by O2:\n%s\n", ow2.LastOQL)
+	fmt.Printf("answer:\n%s", q2.Tab)
+	return nil
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+// Distributed deployment: the Figure 2 installation transcript, reproduced
+// in one process with real TCP connections. Two wrapper servers start on
+// ephemeral ports, a mediator connects to both, imports their structural
+// and query capabilities, loads view1 and evaluates Q1 and Q2 — every byte
+// between mediator and wrappers travels as XML over the wire protocol.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+
+	yat "repro"
+	"repro/internal/waiswrap"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "distributed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// logos{simeon}: o2-wrapper -system cultural -base art -port 6066
+	ow := yat.NewO2Wrapper("o2artifact", yat.PaperDB())
+	schema := ow.ExportSchema()
+	o2ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	o2srv := wire.Serve(o2ln, wire.Exported{
+		Source:    ow,
+		Interface: ow.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"artifacts": {Model: schema, Pattern: "Artifact"},
+			"persons":   {Model: schema, Pattern: "Person"},
+		},
+	})
+	defer o2srv.Close()
+	fmt.Printf(" o2-wrapper is running at %s\n", o2srv.Addr())
+
+	// sappho{christop}: xmlwais-wrapper -directory museum.src
+	ww := yat.NewWaisWrapper("xmlartwork", yat.PaperWorks())
+	waisln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	waissrv := wire.Serve(waisln, wire.Exported{
+		Source:    ww,
+		Interface: ww.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"works": {Model: ww.ExportStructure(), Pattern: "Works"},
+		},
+	})
+	defer waissrv.Close()
+	fmt.Printf(" xmlwais-wrapper is running at %s\n", waissrv.Addr())
+
+	// cosmos{cluet}: yat-mediator
+	med := yat.NewMediator()
+	med.RegisterFunc("contains", waiswrap.Contains)
+	for _, step := range []struct{ name, addr string }{
+		{"o2artifact", o2srv.Addr()},
+		{"xmlartwork", waissrv.Addr()},
+	} {
+		fmt.Printf("yat> connect %s %s;\n", step.name, step.addr)
+		client, err := wire.Dial(step.addr)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		fmt.Printf("yat> import %s;\n", step.name)
+		iface, err := client.ImportInterface()
+		if err != nil {
+			return err
+		}
+		if err := med.Connect(client, iface); err != nil {
+			return err
+		}
+		sts, err := client.ImportStructures()
+		if err != nil {
+			return err
+		}
+		for doc, ref := range sts {
+			med.ImportStructure(doc, ref.Model, ref.Pattern)
+		}
+	}
+	fmt.Println(`yat> load "view1.yat";`)
+	if err := med.LoadProgram(yat.View1); err != nil {
+		return err
+	}
+	med.Assume("artifacts", "works", "$y > 1800")
+	med.Assume("persons", "works", "$y > 1800")
+
+	fmt.Println("\nyat> query Q1 (artifacts created at Giverny);")
+	q1, err := med.Query(yat.Q1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(q1.Tab)
+	fmt.Printf(" (%d pushes, %d tuples shipped)\n", q1.Stats.SourcePushes, q1.Stats.TuplesShipped)
+
+	fmt.Println("\nyat> query Q2 (impressionist artworks under 200,000);")
+	q2, err := med.Query(yat.Q2)
+	if err != nil {
+		return err
+	}
+	fmt.Print(q2.Tab)
+	fmt.Printf(" (%d pushes, %d tuples shipped)\n", q2.Stats.SourcePushes, q2.Stats.TuplesShipped)
+	fmt.Println("\ndistributed plan for Q2:")
+	fmt.Print(q2.Plan)
+	return nil
+}

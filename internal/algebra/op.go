@@ -1,0 +1,826 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/filter"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+)
+
+// Source is a wrapped external source as seen by the algebra: it exports
+// named documents and can either ship a whole document (Fetch, the costly
+// path) or evaluate a pushed subplan natively (Push, the capability-based
+// path of Section 5.3).
+type Source interface {
+	// Name identifies the source ("o2artifact", "xmlartwork", ...).
+	Name() string
+	// Documents lists the document names the source exports.
+	Documents() []string
+	// Fetch ships an entire named document to the mediator.
+	Fetch(doc string) (data.Forest, error)
+	// Push evaluates a plan at the source. The plan only contains
+	// operations the source declared in its capability interface; params
+	// carries bindings passed sideways by a DJoin (information passing).
+	Push(plan Op, params map[string]tab.Cell) (*tab.Tab, error)
+}
+
+// Stats counts the externally observable work of a plan execution; the
+// experiments of EXPERIMENTS.md report these counters.
+type Stats struct {
+	SourceFetches int   // whole documents shipped to the mediator
+	SourcePushes  int   // pushed subplan executions
+	TuplesShipped int   // rows returned by sources
+	BytesShipped  int64 // approximate serialized volume received from sources
+	FuncCalls     int   // external predicate/method invocations
+	BindRows      int   // rows produced by mediator-side Bind operations
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.SourceFetches += s2.SourceFetches
+	s.SourcePushes += s2.SourcePushes
+	s.TuplesShipped += s2.TuplesShipped
+	s.BytesShipped += s2.BytesShipped
+	s.FuncCalls += s2.FuncCalls
+	s.BindRows += s2.BindRows
+}
+
+// Skolems mints stable identifiers: one per (function name, argument
+// values) pair, as required by Skolem-function semantics (Section 3.1).
+type Skolems struct {
+	mu  sync.Mutex
+	ids map[string]string
+	n   int
+}
+
+// NewSkolems returns an empty registry.
+func NewSkolems() *Skolems { return &Skolems{ids: make(map[string]string)} }
+
+// ID returns the identifier for the given function name and key cells,
+// minting a fresh one on first use.
+func (s *Skolems) ID(name string, key []tab.Cell) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, c := range key {
+		b.WriteByte('\x00')
+		b.WriteString(c.Key())
+	}
+	k := b.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[k]; ok {
+		return id
+	}
+	s.n++
+	id := fmt.Sprintf("%s_%d", name, s.n)
+	s.ids[k] = id
+	return id
+}
+
+// Len reports the number of minted identifiers.
+func (s *Skolems) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ids)
+}
+
+// Context carries everything a plan needs to evaluate.
+type Context struct {
+	// Catalog maps named documents to local forests (mediator-resident
+	// data, view materializations, test fixtures).
+	Catalog map[string]data.Forest
+	// Sources maps source names to connections; named documents not in
+	// the catalog are fetched from the source exporting them.
+	Sources map[string]Source
+	// Store resolves identifiers during Bind navigation.
+	Store *data.Store
+	// Skolem mints identifiers for Tree construction.
+	Skolem *Skolems
+	// Funcs holds external functions (contains, current_price, ...).
+	Funcs map[string]Func
+	// Params holds DJoin information-passing bindings.
+	Params map[string]tab.Cell
+	// Model resolves named type filters.
+	Model *pattern.Model
+	// Stats accumulates execution counters.
+	Stats *Stats
+}
+
+// NewContext returns an empty evaluation context. The builtin function
+// id(tree) — the identifier of an identified tree, or the target of a
+// reference — is preregistered: it lets queries join references with the
+// identified trees they point at (the DJoin-to-Join rewriting of Figure 7
+// compares owner references with the persons extent this way).
+func NewContext() *Context {
+	ctx := &Context{
+		Catalog: make(map[string]data.Forest),
+		Sources: make(map[string]Source),
+		Store:   data.NewStore(),
+		Skolem:  NewSkolems(),
+		Funcs:   make(map[string]Func),
+		Stats:   &Stats{},
+	}
+	ctx.Funcs["id"] = func(args []tab.Cell) (tab.Cell, error) {
+		if len(args) != 1 || args[0].Kind != tab.CTree {
+			return tab.Null(), fmt.Errorf("id expects one tree argument")
+		}
+		n := args[0].Tree
+		switch {
+		case n.IsRef():
+			return tab.AtomCell(data.String(n.Ref)), nil
+		case n.ID != "":
+			return tab.AtomCell(data.String(n.ID)), nil
+		default:
+			return tab.Null(), nil
+		}
+	}
+	return ctx
+}
+
+// WithParams returns a shallow copy of the context with extra parameter
+// bindings (used by DJoin to pass left-hand values to the right).
+func (c *Context) WithParams(extra map[string]tab.Cell) *Context {
+	cc := *c
+	cc.Params = make(map[string]tab.Cell, len(c.Params)+len(extra))
+	for k, v := range c.Params {
+		cc.Params[k] = v
+	}
+	for k, v := range extra {
+		cc.Params[k] = v
+	}
+	return &cc
+}
+
+// Input resolves a named document: catalog first, then connected sources.
+func (c *Context) Input(name string) (data.Forest, error) {
+	if f, ok := c.Catalog[name]; ok {
+		return f, nil
+	}
+	var names []string
+	for _, s := range c.Sources {
+		for _, d := range s.Documents() {
+			if d == name {
+				f, err := s.Fetch(name)
+				if err != nil {
+					return nil, err
+				}
+				c.Stats.SourceFetches++
+				for _, n := range f {
+					c.Stats.BytesShipped += int64(n.Size()) * 16
+					c.Store.Register(n)
+				}
+				return f, nil
+			}
+			names = append(names, s.Name()+"."+d)
+		}
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("algebra: unknown input %q (known: %s)", name, strings.Join(names, ", "))
+}
+
+// Op is a node of an algebraic plan.
+type Op interface {
+	// Columns returns the output column names, statically.
+	Columns() []string
+	// Children returns the input plans.
+	Children() []Op
+	// Eval materializes the operator's result.
+	Eval(ctx *Context) (*tab.Tab, error)
+	// Detail renders the operator head for plan printing.
+	Detail() string
+}
+
+// Run evaluates a plan against a context.
+func Run(op Op, ctx *Context) (*tab.Tab, error) { return op.Eval(ctx) }
+
+// ---------------------------------------------------------------------------
+// Doc: named-document input
+// ---------------------------------------------------------------------------
+
+// Doc is the input operation of an algebraic expression: a named document
+// (e.g. "artifacts"). It produces one row per tree of the document's forest
+// in a single column.
+type Doc struct {
+	Name string
+	Col  string // output column; defaults to "$doc"
+}
+
+func (d *Doc) col() string {
+	if d.Col == "" {
+		return "$doc"
+	}
+	return d.Col
+}
+
+// Columns implements Op.
+func (d *Doc) Columns() []string { return []string{d.col()} }
+
+// Children implements Op.
+func (d *Doc) Children() []Op { return nil }
+
+// Detail implements Op.
+func (d *Doc) Detail() string { return fmt.Sprintf("Doc(%s)", d.Name) }
+
+// Eval implements Op.
+func (d *Doc) Eval(ctx *Context) (*tab.Tab, error) {
+	f, err := ctx.Input(d.Name)
+	if err != nil {
+		return nil, err
+	}
+	t := tab.New(d.col())
+	for _, n := range f {
+		t.Add(tab.TreeCell(n))
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bind
+// ---------------------------------------------------------------------------
+
+// Bind extracts variable bindings from trees using a filter (Figure 4).
+// Three input forms exist:
+//
+//   - Doc != "": bind over a named document (the common leaf of a plan);
+//   - From != nil, Col != "": bind over the trees in column Col of each
+//     input row, extending the row (the "linear split" form of Figure 7);
+//   - From == nil, Doc == "", Col != "": bind over a DJoin parameter.
+type Bind struct {
+	From Op
+	Doc  string
+	Col  string
+	F    *filter.Filter
+}
+
+// Columns implements Op.
+func (b *Bind) Columns() []string {
+	var out []string
+	if b.From != nil {
+		out = append(out, b.From.Columns()...)
+	}
+	return append(out, b.F.Vars()...)
+}
+
+// Children implements Op.
+func (b *Bind) Children() []Op {
+	if b.From == nil {
+		return nil
+	}
+	return []Op{b.From}
+}
+
+// Detail implements Op.
+func (b *Bind) Detail() string {
+	src := b.Doc
+	if src == "" {
+		src = b.Col
+	}
+	return fmt.Sprintf("Bind(%s, %s)", src, b.F)
+}
+
+// Eval implements Op.
+func (b *Bind) Eval(ctx *Context) (*tab.Tab, error) {
+	f := b.F
+	if f.Model == nil && ctx.Model != nil {
+		f = &filter.Filter{Root: f.Root, Model: ctx.Model}
+	}
+	switch {
+	case b.Doc != "":
+		forest, err := ctx.Input(b.Doc)
+		if err != nil {
+			return nil, err
+		}
+		t := f.MatchForest(ctx.Store, forest)
+		ctx.Stats.BindRows += t.Len()
+		return t, nil
+	case b.From == nil:
+		cell, ok := ctx.Params[b.Col]
+		if !ok {
+			return nil, fmt.Errorf("algebra: Bind over unbound parameter %s", b.Col)
+		}
+		t := f.MatchForest(ctx.Store, cell.AsForest())
+		ctx.Stats.BindRows += t.Len()
+		return t, nil
+	default:
+		in, err := b.From.Eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ci := in.ColIndex(b.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("algebra: Bind over unknown column %s of %v", b.Col, in.Cols)
+		}
+		out := tab.New(b.Columns()...)
+		for _, r := range in.Rows {
+			sub := f.MatchForest(ctx.Store, r[ci].AsForest())
+			for _, sr := range sub.Rows {
+				out.AddRow(append(r.Clone(), sr...))
+			}
+		}
+		ctx.Stats.BindRows += out.Len()
+		return out, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Select, Project, Map
+// ---------------------------------------------------------------------------
+
+// Select filters rows by a predicate.
+type Select struct {
+	From Op
+	Pred Expr
+}
+
+// Columns implements Op.
+func (s *Select) Columns() []string { return s.From.Columns() }
+
+// Children implements Op.
+func (s *Select) Children() []Op { return []Op{s.From} }
+
+// Detail implements Op.
+func (s *Select) Detail() string { return fmt.Sprintf("Select(%s)", s.Pred) }
+
+// Eval implements Op.
+func (s *Select) Eval(ctx *Context) (*tab.Tab, error) {
+	in, err := s.From.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols := colIndex(in.Cols)
+	out := tab.New(in.Cols...)
+	for _, r := range in.Rows {
+		ok, err := truth(s.Pred, ctx, cols, r)
+		if err != nil {
+			return nil, fmt.Errorf("select: %w", err)
+		}
+		if ok {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Project keeps (and possibly renames, "new=old") the given columns.
+type Project struct {
+	From Op
+	Cols []string
+}
+
+// Columns implements Op.
+func (p *Project) Columns() []string {
+	out := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		if j := strings.IndexByte(c, '='); j >= 0 {
+			out[i] = c[:j]
+		} else {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// Children implements Op.
+func (p *Project) Children() []Op { return []Op{p.From} }
+
+// Detail implements Op.
+func (p *Project) Detail() string { return fmt.Sprintf("Project(%s)", strings.Join(p.Cols, ", ")) }
+
+// Eval implements Op.
+func (p *Project) Eval(ctx *Context) (*tab.Tab, error) {
+	in, err := p.From.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return in.Project(p.Cols...), nil
+}
+
+// MapExpr extends each row with a computed column (the algebra's Map).
+type MapExpr struct {
+	From Op
+	Col  string
+	E    Expr
+}
+
+// Columns implements Op.
+func (m *MapExpr) Columns() []string { return append(m.From.Columns(), m.Col) }
+
+// Children implements Op.
+func (m *MapExpr) Children() []Op { return []Op{m.From} }
+
+// Detail implements Op.
+func (m *MapExpr) Detail() string { return fmt.Sprintf("Map(%s := %s)", m.Col, m.E) }
+
+// Eval implements Op.
+func (m *MapExpr) Eval(ctx *Context) (*tab.Tab, error) {
+	in, err := m.From.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols := colIndex(in.Cols)
+	out := tab.New(m.Columns()...)
+	for _, r := range in.Rows {
+		v, err := m.E.Eval(ctx, cols, r)
+		if err != nil {
+			return nil, fmt.Errorf("map: %w", err)
+		}
+		out.AddRow(append(r.Clone(), v))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Join, DJoin
+// ---------------------------------------------------------------------------
+
+// Join combines two inputs under a predicate. When the predicate contains
+// column-column equalities across the two sides, a hash join is used;
+// otherwise nested loops.
+type Join struct {
+	L, R Op
+	Pred Expr
+}
+
+// Columns implements Op.
+func (j *Join) Columns() []string { return append(j.L.Columns(), j.R.Columns()...) }
+
+// Children implements Op.
+func (j *Join) Children() []Op { return []Op{j.L, j.R} }
+
+// Detail implements Op.
+func (j *Join) Detail() string { return fmt.Sprintf("Join(%s)", j.Pred) }
+
+// Eval implements Op.
+func (j *Join) Eval(ctx *Context) (*tab.Tab, error) {
+	l, err := j.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := tab.New(j.Columns()...)
+	cols := colIndex(out.Cols)
+	// Hash strategy: collect cross-side equalities.
+	var lKeys, rKeys []int
+	var rest []Expr
+	lIdx, rIdx := colIndex(l.Cols), colIndex(r.Cols)
+	for _, c := range SplitConj(j.Pred) {
+		if a, b, ok := EqColumns(c); ok {
+			if li, lok := lIdx[a]; lok {
+				if ri, rok := rIdx[b]; rok {
+					lKeys = append(lKeys, li)
+					rKeys = append(rKeys, ri)
+					continue
+				}
+			}
+			if li, lok := lIdx[b]; lok {
+				if ri, rok := rIdx[a]; rok {
+					lKeys = append(lKeys, li)
+					rKeys = append(rKeys, ri)
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	residual := Conj(rest...)
+	emit := func(lr, rr tab.Row) error {
+		row := append(lr.Clone(), rr...)
+		ok, err := truth(residual, ctx, cols, row)
+		if err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+		return nil
+	}
+	if len(lKeys) > 0 {
+		buckets := make(map[string][]tab.Row, len(r.Rows))
+		for _, rr := range r.Rows {
+			var b strings.Builder
+			for _, k := range rKeys {
+				b.WriteString(rr[k].Key())
+				b.WriteByte('\x00')
+			}
+			buckets[b.String()] = append(buckets[b.String()], rr)
+		}
+		for _, lr := range l.Rows {
+			var b strings.Builder
+			for _, k := range lKeys {
+				b.WriteString(lr[k].Key())
+				b.WriteByte('\x00')
+			}
+			for _, rr := range buckets[b.String()] {
+				if err := emit(lr, rr); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			if err := emit(lr, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// DJoin is the dependency join: the right-hand plan is evaluated once per
+// left row, with the left row's columns available as parameters (the
+// "information passing" of Section 5.3 and the Bind-split of Figure 7).
+type DJoin struct {
+	L, R Op
+}
+
+// Columns implements Op.
+func (j *DJoin) Columns() []string { return append(j.L.Columns(), j.R.Columns()...) }
+
+// Children implements Op.
+func (j *DJoin) Children() []Op { return []Op{j.L, j.R} }
+
+// Detail implements Op.
+func (j *DJoin) Detail() string { return "DJoin" }
+
+// Eval implements Op.
+func (j *DJoin) Eval(ctx *Context) (*tab.Tab, error) {
+	l, err := j.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := tab.New(j.Columns()...)
+	params := make(map[string]tab.Cell, len(l.Cols))
+	for _, lr := range l.Rows {
+		for i, c := range l.Cols {
+			params[c] = lr[i]
+		}
+		sub, err := j.R.Eval(ctx.WithParams(params))
+		if err != nil {
+			return nil, err
+		}
+		for _, rr := range sub.Rows {
+			out.AddRow(append(lr.Clone(), rr...))
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Union, Intersect, Distinct
+// ---------------------------------------------------------------------------
+
+// Union concatenates two inputs with identical columns (bag semantics).
+type Union struct{ L, R Op }
+
+// Columns implements Op.
+func (u *Union) Columns() []string { return u.L.Columns() }
+
+// Children implements Op.
+func (u *Union) Children() []Op { return []Op{u.L, u.R} }
+
+// Detail implements Op.
+func (u *Union) Detail() string { return "Union" }
+
+// Eval implements Op.
+func (u *Union) Eval(ctx *Context) (*tab.Tab, error) {
+	l, err := u.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := tab.New(l.Cols...)
+	out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+	if len(r.Cols) != len(l.Cols) {
+		return nil, fmt.Errorf("algebra: union of incompatible tabs %v / %v", l.Cols, r.Cols)
+	}
+	return out, nil
+}
+
+// Intersect keeps the distinct rows present in both inputs.
+type Intersect struct{ L, R Op }
+
+// Columns implements Op.
+func (i *Intersect) Columns() []string { return i.L.Columns() }
+
+// Children implements Op.
+func (i *Intersect) Children() []Op { return []Op{i.L, i.R} }
+
+// Detail implements Op.
+func (i *Intersect) Detail() string { return "Intersect" }
+
+// Eval implements Op.
+func (i *Intersect) Eval(ctx *Context) (*tab.Tab, error) {
+	l, err := i.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := i.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Cols) != len(l.Cols) {
+		return nil, fmt.Errorf("algebra: intersect of incompatible tabs %v / %v", l.Cols, r.Cols)
+	}
+	inR := make(map[string]bool, len(r.Rows))
+	for _, rr := range r.Rows {
+		inR[rr.Key()] = true
+	}
+	out := tab.New(l.Cols...)
+	seen := map[string]bool{}
+	for _, lr := range l.Rows {
+		k := lr.Key()
+		if inR[k] && !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, lr)
+		}
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct{ From Op }
+
+// Columns implements Op.
+func (d *Distinct) Columns() []string { return d.From.Columns() }
+
+// Children implements Op.
+func (d *Distinct) Children() []Op { return []Op{d.From} }
+
+// Detail implements Op.
+func (d *Distinct) Detail() string { return "Distinct" }
+
+// Eval implements Op.
+func (d *Distinct) Eval(ctx *Context) (*tab.Tab, error) {
+	in, err := d.From.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return in.Distinct(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Group, Sort
+// ---------------------------------------------------------------------------
+
+// Group nests the non-key columns of each key group into a nested Tab.
+type Group struct {
+	From Op
+	Keys []string
+	Into string
+}
+
+// Columns implements Op.
+func (g *Group) Columns() []string { return append(append([]string{}, g.Keys...), g.Into) }
+
+// Children implements Op.
+func (g *Group) Children() []Op { return []Op{g.From} }
+
+// Detail implements Op.
+func (g *Group) Detail() string {
+	return fmt.Sprintf("Group(%s ⇒ %s)", strings.Join(g.Keys, ", "), g.Into)
+}
+
+// Eval implements Op.
+func (g *Group) Eval(ctx *Context) (*tab.Tab, error) {
+	in, err := g.From.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return in.GroupBy(g.Into, g.Keys...), nil
+}
+
+// Sort orders rows by the given columns.
+type Sort struct {
+	From Op
+	Cols []string
+}
+
+// Columns implements Op.
+func (s *Sort) Columns() []string { return s.From.Columns() }
+
+// Children implements Op.
+func (s *Sort) Children() []Op { return []Op{s.From} }
+
+// Detail implements Op.
+func (s *Sort) Detail() string { return fmt.Sprintf("Sort(%s)", strings.Join(s.Cols, ", ")) }
+
+// Eval implements Op.
+func (s *Sort) Eval(ctx *Context) (*tab.Tab, error) {
+	in, err := s.From.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := tab.New(in.Cols...)
+	out.Rows = append(out.Rows, in.Rows...)
+	out.SortBy(s.Cols...)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// SourceQuery and Literal
+// ---------------------------------------------------------------------------
+
+// SourceQuery wraps a subplan pushed to an external source: the source
+// evaluates Plan natively (e.g. by translating it to OQL or to a Wais
+// full-text call) and ships back only the result rows.
+type SourceQuery struct {
+	Source string
+	Plan   Op
+}
+
+// Columns implements Op.
+func (q *SourceQuery) Columns() []string { return q.Plan.Columns() }
+
+// Children implements Op.
+func (q *SourceQuery) Children() []Op { return []Op{q.Plan} }
+
+// Detail implements Op.
+func (q *SourceQuery) Detail() string { return fmt.Sprintf("SourceQuery(%s)", q.Source) }
+
+// Eval implements Op.
+func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
+	src, ok := ctx.Sources[q.Source]
+	if !ok {
+		return nil, fmt.Errorf("algebra: unknown source %q", q.Source)
+	}
+	t, err := src.Push(q.Plan, ctx.Params)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: %w", q.Source, err)
+	}
+	ctx.Stats.SourcePushes++
+	ctx.Stats.TuplesShipped += t.Len()
+	for _, r := range t.Rows {
+		for _, c := range r {
+			ctx.Stats.BytesShipped += int64(len(c.Key()))
+		}
+	}
+	return t, nil
+}
+
+// Literal wraps a constant Tab (fixtures, unit tests, explain samples).
+type Literal struct{ T *tab.Tab }
+
+// Columns implements Op.
+func (l *Literal) Columns() []string { return l.T.Cols }
+
+// Children implements Op.
+func (l *Literal) Children() []Op { return nil }
+
+// Detail implements Op.
+func (l *Literal) Detail() string { return fmt.Sprintf("Literal(%d rows)", l.T.Len()) }
+
+// Eval implements Op.
+func (l *Literal) Eval(*Context) (*tab.Tab, error) { return l.T, nil }
+
+func colIndex(cols []string) map[string]int {
+	m := make(map[string]int, len(cols))
+	for i, c := range cols {
+		m[c] = i
+	}
+	return m
+}
+
+// Describe renders the plan as an indented operator tree.
+func Describe(op Op) string {
+	var b strings.Builder
+	describe(&b, op, 0)
+	return b.String()
+}
+
+func describe(b *strings.Builder, op Op, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if op == nil {
+		b.WriteString("<nil>\n")
+		return
+	}
+	b.WriteString(op.Detail())
+	b.WriteByte('\n')
+	for _, c := range op.Children() {
+		describe(b, c, depth+1)
+	}
+}
+
+// Walk visits the plan tree in pre-order.
+func Walk(op Op, fn func(Op) bool) {
+	if op == nil || !fn(op) {
+		return
+	}
+	for _, c := range op.Children() {
+		Walk(c, fn)
+	}
+}

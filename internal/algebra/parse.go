@@ -1,0 +1,555 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Textual syntaxes for construction patterns and predicate expressions.
+//
+// Construction (the MAKE side of YATL, Figure 4's Tree argument):
+//
+//	doc[ *artwork($t, $c) := work[ title: $t, artist: $a, owners[ *$o ],
+//	                               more: $fields ] ]
+//	artists[ *($a) artist[ name: $a, *($t) title: $t ] ]
+//	owner: &person($o)                 — a reference to a Skolem-built tree
+//
+// Expressions (WHERE clauses, Select predicates):
+//
+//	$y > 1800 AND $c = $a AND contains($w, "Impressionist")
+
+type atok struct {
+	kind string // name,var,str,num,punct,eof
+	text string
+	pos  int
+}
+
+func alex(src string) ([]atok, error) {
+	var toks []atok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ':' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, atok{"punct", ":=", i})
+			i += 2
+		case c == '!' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, atok{"punct", "!=", i})
+			i += 2
+		case c == '<' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, atok{"punct", "<=", i})
+			i += 2
+		case c == '>' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, atok{"punct", ">=", i})
+			i += 2
+		case strings.IndexByte("[]():,.~&*+-/<>=%", c) >= 0:
+			toks = append(toks, atok{"punct", string(c), i})
+			i++
+		case c == '$':
+			start := i
+			i++
+			for i < len(src) && (isWordByte(src[i]) || src[i] == '\'') {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("parse: empty variable at offset %d", start)
+			}
+			toks = append(toks, atok{"var", src[start:i], start})
+		case c == '"':
+			start := i
+			i++
+			var b strings.Builder
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("parse: unterminated string at offset %d", start)
+			}
+			i++
+			toks = append(toks, atok{"str", b.String(), start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, atok{"num", src[start:i], start})
+		case isWordStartByte(c):
+			start := i
+			for i < len(src) && (isWordByte(src[i]) || src[i] == '\'') {
+				i++
+			}
+			toks = append(toks, atok{"name", src[start:i], start})
+		default:
+			return nil, fmt.Errorf("parse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, atok{"eof", "", i})
+	return toks, nil
+}
+
+func isWordStartByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordByte(c byte) bool {
+	return isWordStartByte(c) || c == '-' || (c >= '0' && c <= '9')
+}
+
+type aparser struct {
+	toks []atok
+	i    int
+}
+
+func (p *aparser) cur() atok { return p.toks[p.i] }
+
+func (p *aparser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == "punct" && t.text == s
+}
+
+func (p *aparser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == "name" && strings.EqualFold(t.text, s)
+}
+
+func (p *aparser) eat(s string) error {
+	if !p.isPunct(s) {
+		return fmt.Errorf("parse: expected %q at offset %d, got %q", s, p.cur().pos, p.cur().text)
+	}
+	p.i++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Construction parser
+// ---------------------------------------------------------------------------
+
+// ParseCons parses a construction pattern.
+func ParseCons(src string) (*Cons, error) {
+	toks, err := alex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &aparser{toks: toks}
+	c, err := p.cons()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != "eof" {
+		return nil, fmt.Errorf("parse: trailing input at offset %d", p.cur().pos)
+	}
+	return c, nil
+}
+
+// MustParseCons is ParseCons panicking on error.
+func MustParseCons(src string) *Cons {
+	c, err := ParseCons(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (p *aparser) cons() (*Cons, error) {
+	c := &Cons{}
+	// Skolem head: NAME ( vars ) :=
+	if p.cur().kind == "name" && p.i+1 < len(p.toks) &&
+		p.toks[p.i+1].kind == "punct" && p.toks[p.i+1].text == "(" {
+		name := p.cur().text
+		p.i += 2
+		args, err := p.varList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eat(")"); err != nil {
+			return nil, err
+		}
+		if err := p.eat(":="); err != nil {
+			return nil, err
+		}
+		body, err := p.cons()
+		if err != nil {
+			return nil, err
+		}
+		body.Skolem = name
+		body.SkolemArgs = args
+		return body, nil
+	}
+	t := p.cur()
+	switch {
+	case p.isPunct("&"):
+		p.i++
+		n := p.cur()
+		if n.kind != "name" {
+			return nil, fmt.Errorf("parse: expected Skolem name after '&' at offset %d", n.pos)
+		}
+		p.i++
+		if err := p.eat("("); err != nil {
+			return nil, err
+		}
+		args, err := p.varList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eat(")"); err != nil {
+			return nil, err
+		}
+		c.RefTo = n.text
+		c.RefArgs = args
+		return c, nil
+	case t.kind == "var":
+		p.i++
+		c.Var = t.text
+		return c, nil
+	case t.kind == "str":
+		p.i++
+		a := data.String(t.text)
+		c.Const = &a
+		return c, nil
+	case t.kind == "num":
+		p.i++
+		a, err := parseNumAtom(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("parse: %v at offset %d", err, t.pos)
+		}
+		c.Const = &a
+		return c, nil
+	case p.isPunct("~"):
+		p.i++
+		v := p.cur()
+		if v.kind != "var" {
+			return nil, fmt.Errorf("parse: expected variable after '~' at offset %d", v.pos)
+		}
+		p.i++
+		c.LabelVar = v.text
+	case t.kind == "name":
+		p.i++
+		c.Label = t.text
+	default:
+		return nil, fmt.Errorf("parse: unexpected %q at offset %d", t.text, t.pos)
+	}
+	// tail
+	switch {
+	case p.isPunct("["):
+		p.i++
+		for !p.isPunct("]") {
+			it, err := p.consItem()
+			if err != nil {
+				return nil, err
+			}
+			c.Kids = append(c.Kids, it)
+			if p.isPunct(",") {
+				p.i++
+				continue
+			}
+			break
+		}
+		if err := p.eat("]"); err != nil {
+			return nil, err
+		}
+	case p.isPunct(":"):
+		p.i++
+		t := p.cur()
+		// `label: $v` and `label: "const"` attach content directly.
+		switch {
+		case t.kind == "var":
+			p.i++
+			c.Var = t.text
+		case t.kind == "str":
+			p.i++
+			a := data.String(t.text)
+			c.Const = &a
+		case t.kind == "num":
+			p.i++
+			a, err := parseNumAtom(t.text)
+			if err != nil {
+				return nil, fmt.Errorf("parse: %v at offset %d", err, t.pos)
+			}
+			c.Const = &a
+		default:
+			kid, err := p.cons()
+			if err != nil {
+				return nil, err
+			}
+			c.Kids = append(c.Kids, ConsItem{C: kid})
+		}
+	}
+	return c, nil
+}
+
+func (p *aparser) consItem() (ConsItem, error) {
+	it := ConsItem{}
+	if p.isPunct("*") {
+		p.i++
+		it.Star = true
+		if p.isPunct("(") {
+			p.i++
+			keys, err := p.varList()
+			if err != nil {
+				return it, err
+			}
+			if err := p.eat(")"); err != nil {
+				return it, err
+			}
+			it.Keys = keys
+		}
+	}
+	c, err := p.cons()
+	if err != nil {
+		return it, err
+	}
+	it.C = c
+	return it, nil
+}
+
+func (p *aparser) varList() ([]string, error) {
+	var out []string
+	for {
+		t := p.cur()
+		if t.kind != "var" {
+			if len(out) == 0 && p.isPunct(")") {
+				return out, nil
+			}
+			return nil, fmt.Errorf("parse: expected variable at offset %d", t.pos)
+		}
+		out = append(out, t.text)
+		p.i++
+		if p.isPunct(",") {
+			p.i++
+			continue
+		}
+		return out, nil
+	}
+}
+
+func parseNumAtom(text string) (data.Atom, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return data.Atom{}, fmt.Errorf("bad number %q", text)
+		}
+		return data.Float(f), nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return data.Atom{}, fmt.Errorf("bad number %q", text)
+	}
+	return data.Int(v), nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression parser
+// ---------------------------------------------------------------------------
+
+// ParseExpr parses a predicate/value expression.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := alex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &aparser{toks: toks}
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != "eof" {
+		return nil, fmt.Errorf("parse: trailing input at offset %d", p.cur().pos)
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr panicking on error.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *aparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.i++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *aparser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.i++
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *aparser) notExpr() (Expr, error) {
+	if p.isKeyword("NOT") {
+		p.i++
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Not{e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *aparser) cmpExpr() (Expr, error) {
+	l, err := p.sumExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.isPunct(op) {
+			p.i++
+			r, err := p.sumExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Cmp{Op: CmpOp(op), L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *aparser) sumExpr() (Expr, error) {
+	l, err := p.termExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("+"):
+			p.i++
+			r, err := p.termExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Arith{Op: OpAdd, L: l, R: r}
+		case p.isPunct("-"):
+			p.i++
+			r, err := p.termExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Arith{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *aparser) termExpr() (Expr, error) {
+	l, err := p.factorExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("*"):
+			p.i++
+			r, err := p.factorExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Arith{Op: OpMul, L: l, R: r}
+		case p.isPunct("/"):
+			p.i++
+			r, err := p.factorExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Arith{Op: OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *aparser) factorExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.isPunct("("):
+		p.i++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eat(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == "var":
+		p.i++
+		return Var{t.text}, nil
+	case t.kind == "str":
+		p.i++
+		return Const{data.String(t.text)}, nil
+	case t.kind == "num":
+		p.i++
+		a, err := parseNumAtom(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("parse: %v at offset %d", err, t.pos)
+		}
+		return Const{a}, nil
+	case p.isPunct("-"):
+		p.i++
+		e, err := p.factorExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Arith{Op: OpSub, L: Const{data.Int(0)}, R: e}, nil
+	case t.kind == "name" && strings.EqualFold(t.text, "true"):
+		p.i++
+		return Const{data.Bool(true)}, nil
+	case t.kind == "name" && strings.EqualFold(t.text, "false"):
+		p.i++
+		return Const{data.Bool(false)}, nil
+	case t.kind == "name":
+		p.i++
+		if err := p.eat("("); err != nil {
+			return nil, fmt.Errorf("parse: expected '(' after function %s at offset %d", t.text, t.pos)
+		}
+		var args []Expr
+		for !p.isPunct(")") {
+			a, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.isPunct(",") {
+				p.i++
+			}
+		}
+		p.i++
+		return Call{Name: t.text, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("parse: unexpected %q at offset %d", t.text, t.pos)
+	}
+}

@@ -1,0 +1,495 @@
+// Package capability implements the source-description language of
+// Section 4: Fmodels of Fpatterns with bind/inst flags describing the
+// filters a source accepts, operational interfaces declaring which algebraic
+// operations a source evaluates (Figure 6), and declared equivalences
+// connecting source-specific predicates with algebra predicates (the
+// contains/equality connection of Section 4.2).
+//
+// The central judgement is AcceptsFilter: is a Bind filter admissible for a
+// source, i.e. is it an instance of the exported Fpattern respecting every
+// flag? The optimizer uses it (with AcceptsPlan, in internal/optimizer) to
+// decide which subplans can be pushed.
+package capability
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/pattern"
+)
+
+// BindFlag restricts which variables a filter may place on a node.
+type BindFlag int
+
+// Bind flags, mirroring the bind attribute of Figure 6.
+const (
+	BindAny   BindFlag = iota // no restriction
+	BindTree                  // only a tree variable (bind the whole subtree)
+	BindLabel                 // only a label variable
+	BindNone                  // no variable at all
+)
+
+// String renders the flag as its XML attribute value.
+func (b BindFlag) String() string {
+	switch b {
+	case BindTree:
+		return "tree"
+	case BindLabel:
+		return "label"
+	case BindNone:
+		return "none"
+	default:
+		return ""
+	}
+}
+
+// BindFlagFromString parses a bind attribute value.
+func BindFlagFromString(s string) BindFlag {
+	switch s {
+	case "tree":
+		return BindTree
+	case "label":
+		return BindLabel
+	case "none":
+		return BindNone
+	default:
+		return BindAny
+	}
+}
+
+// InstFlag restricts how a filter may instantiate a label or a star edge.
+type InstFlag int
+
+// Inst flags, mirroring the inst attribute of Figure 6.
+const (
+	InstAny    InstFlag = iota // no restriction
+	InstGround                 // must be completely instantiated (concrete)
+	InstNone                   // must be left unchanged (stay generic)
+)
+
+// String renders the flag as its XML attribute value.
+func (i InstFlag) String() string {
+	switch i {
+	case InstGround:
+		return "ground"
+	case InstNone:
+		return "none"
+	default:
+		return ""
+	}
+}
+
+// InstFlagFromString parses an inst attribute value.
+func InstFlagFromString(s string) InstFlag {
+	switch s {
+	case "ground":
+		return InstGround
+	case "none":
+		return InstNone
+	default:
+		return InstAny
+	}
+}
+
+// FT is an Fpattern node: a type pattern annotated with filter restrictions.
+type FT struct {
+	Kind     pattern.Kind // KNode, KUnion, KRef, KInt/KFloat/KBool/KString, KAny
+	Label    string       // KNode: concrete label
+	AnyLabel bool         // KNode: Symbol wildcard
+	Col      pattern.Col
+	Bind     BindFlag
+	Inst     InstFlag // on Symbol nodes: whether the label must be ground
+	Name     string   // KRef: referenced Fpattern (or opaque structural pattern)
+	Items    []FTItem
+	Alts     []*FT
+}
+
+// FTItem is one child position of an Fpattern node.
+type FTItem struct {
+	F    *FT
+	Star bool
+	Inst InstFlag // on star edges: ground (enumerate) or none (keep the star)
+}
+
+// FModel is a named collection of Fpatterns, exported by a wrapper.
+type FModel struct {
+	Name  string
+	Defs  map[string]*FT
+	Order []string
+}
+
+// NewFModel returns an empty Fmodel.
+func NewFModel(name string) *FModel {
+	return &FModel{Name: name, Defs: make(map[string]*FT)}
+}
+
+// Define adds a named Fpattern.
+func (m *FModel) Define(name string, f *FT) {
+	if _, ok := m.Defs[name]; !ok {
+		m.Order = append(m.Order, name)
+	}
+	m.Defs[name] = f
+}
+
+// Lookup resolves a name; nil when absent.
+func (m *FModel) Lookup(name string) *FT {
+	if m == nil {
+		return nil
+	}
+	return m.Defs[name]
+}
+
+// Sig is one operation signature entry (an <input> or <output> element).
+type Sig struct {
+	Model    string // model/fmodel name the pattern lives in
+	Pattern  string // pattern name
+	IsFilter bool   // a <filter> position rather than a <value>
+	Leaf     string // atomic leaf type for predicate signatures ("String", "Bool", ...)
+}
+
+// Operation declares one operation a source supports: algebraic operators
+// (bind, select, ...), boolean predicates (eq, leq, ...), or external
+// functions (contains, current_price).
+type Operation struct {
+	Name   string
+	Kind   string // "algebra", "boolean", "external", "method"
+	Inputs []Sig
+	Output *Sig
+}
+
+// Equivalence is a declared semantic connection between an algebra
+// predicate and a source-specific one (Section 4.2): starting from a
+// selection with From over a variable bound inside a tree rooted at an
+// Fpattern-accepted subtree, one may introduce the more general To
+// predicate over the subtree's root variable.
+type Equivalence struct {
+	Name  string
+	From  string // algebra predicate, e.g. "eq"
+	To    string // source predicate, e.g. "contains"
+	Scope string // Fpattern name of the root the To predicate applies to
+}
+
+// Interface is the full operational interface a wrapper exports (Figure 6).
+type Interface struct {
+	Name         string
+	FModels      []*FModel
+	Operations   []Operation
+	Equivalences []Equivalence
+	// Binds lists, per exported document, the Fpattern governing binds on
+	// it: docname -> (fmodel, fpattern).
+	Binds map[string]BindCap
+}
+
+// BindCap names the Fpattern that governs Bind operations over a document.
+type BindCap struct {
+	FModel   string
+	FPattern string
+}
+
+// NewInterface returns an empty interface description.
+func NewInterface(name string) *Interface {
+	return &Interface{Name: name, Binds: make(map[string]BindCap)}
+}
+
+// FModel resolves an Fmodel by name.
+func (i *Interface) FModel(name string) *FModel {
+	for _, m := range i.FModels {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Operation resolves an operation by name; nil when absent.
+func (i *Interface) Operation(name string) *Operation {
+	for k := range i.Operations {
+		if i.Operations[k].Name == name {
+			return &i.Operations[k]
+		}
+	}
+	return nil
+}
+
+// HasOperation reports whether the source declared the operation.
+func (i *Interface) HasOperation(name string) bool { return i.Operation(name) != nil }
+
+// Equivalence resolves a declared equivalence by target predicate.
+func (i *Interface) EquivalenceTo(to string) *Equivalence {
+	for k := range i.Equivalences {
+		if i.Equivalences[k].To == to {
+			return &i.Equivalences[k]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Filter acceptance
+// ---------------------------------------------------------------------------
+
+// AcceptsFilter reports whether a Bind filter over the named document is
+// admissible for this interface, i.e. whether the filter instantiates the
+// document's Fpattern under every bind/inst flag. A non-nil error explains
+// the first violation (useful in optimizer traces and tests).
+func (i *Interface) AcceptsFilter(doc string, f *filter.Filter) error {
+	cap, ok := i.Binds[doc]
+	if !ok {
+		return fmt.Errorf("capability: source %s does not export binds on %q", i.Name, doc)
+	}
+	m := i.FModel(cap.FModel)
+	if m == nil {
+		return fmt.Errorf("capability: unknown fmodel %q", cap.FModel)
+	}
+	root := m.Lookup(cap.FPattern)
+	if root == nil {
+		return fmt.Errorf("capability: unknown fpattern %q", cap.FPattern)
+	}
+	chk := &checker{m: m}
+	return chk.accept(root, f.Root)
+}
+
+type checker struct {
+	m     *FModel
+	depth int
+}
+
+func (c *checker) accept(ft *FT, fn *filter.FNode) error {
+	if ft == nil || fn == nil {
+		return fmt.Errorf("capability: nil pattern or filter")
+	}
+	if c.depth > 64 {
+		return fmt.Errorf("capability: fpattern recursion too deep")
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+	switch ft.Kind {
+	case pattern.KAny:
+		return nil
+	case pattern.KRef:
+		target := c.m.Lookup(ft.Name)
+		if target == nil {
+			// Opaque structural type: the filter may bind it as a whole
+			// (subject to this node's flags) but not navigate inside.
+			if len(fn.Items) > 0 {
+				return fmt.Errorf("capability: cannot navigate inside opaque type %s", ft.Name)
+			}
+			return c.flags(ft, fn)
+		}
+		return c.accept(target, fn)
+	case pattern.KUnion:
+		var firstErr error
+		for _, a := range ft.Alts {
+			if err := c.accept(a, fn); err == nil {
+				return nil
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("capability: empty union")
+		}
+		return firstErr
+	case pattern.KInt, pattern.KFloat, pattern.KBool, pattern.KString:
+		// Atomic positions: content variables and constants are fine;
+		// navigation below is not.
+		if len(fn.Items) > 0 {
+			return fmt.Errorf("capability: navigation below an atomic position")
+		}
+		if fn.LabelVar != "" {
+			return fmt.Errorf("capability: label variable on an atomic position")
+		}
+		return nil
+	case pattern.KNode:
+		if err := c.flags(ft, fn); err != nil {
+			return err
+		}
+		return c.acceptItems(ft.Items, fn.Items)
+	default:
+		return fmt.Errorf("capability: unsupported fpattern kind %v", ft.Kind)
+	}
+}
+
+// flags checks the label and variable restrictions of one node.
+func (c *checker) flags(ft *FT, fn *filter.FNode) error {
+	// Label discipline.
+	if ft.Kind == pattern.KNode {
+		if ft.AnyLabel {
+			switch ft.Inst {
+			case InstGround:
+				if fn.Label == "" || fn.AnyLabel || fn.LabelVar != "" {
+					return fmt.Errorf("capability: label must be ground (inst=ground), got %q", fn)
+				}
+			case InstNone:
+				if fn.Label != "" {
+					return fmt.Errorf("capability: label must be left generic (inst=none), got %q", fn.Label)
+				}
+			}
+		} else if ft.Label != "" {
+			if fn.Label != ft.Label {
+				return fmt.Errorf("capability: filter label %q does not match pattern label %q", fn.Label, ft.Label)
+			}
+		}
+	}
+	// Variable discipline.
+	switch ft.Bind {
+	case BindNone:
+		if fn.Var != "" || fn.LabelVar != "" {
+			return fmt.Errorf("capability: node %q may not be bound (bind=none)", fn)
+		}
+	case BindTree:
+		if fn.LabelVar != "" {
+			return fmt.Errorf("capability: node %q allows only tree variables (bind=tree)", fn)
+		}
+	case BindLabel:
+		if fn.Var != "" {
+			return fmt.Errorf("capability: node %q allows only label variables (bind=label)", fn)
+		}
+	}
+	return nil
+}
+
+// acceptItems maps each filter item onto an fpattern item via memoized
+// sequence matching, enforcing the star inst flags: a ground star must be
+// enumerated by non-star filter items; a none star must be matched by
+// starred filter items (the filter keeps the edge generic).
+func (c *checker) acceptItems(fts []FTItem, fis []filter.FItem) error {
+	type key struct{ i, j int }
+	memo := map[key]error{}
+	var rec func(i, j int) error
+	rec = func(i, j int) error {
+		if i == len(fis) {
+			return nil // remaining fpattern items are simply not used
+		}
+		k := key{i, j}
+		if e, ok := memo[k]; ok {
+			return e
+		}
+		memo[k] = fmt.Errorf("capability: cycle")
+		fi := fis[i]
+		var lastErr error
+		for jj := j; jj < len(fts); jj++ {
+			ftIt := fts[jj]
+			if err := c.acceptItem(ftIt, fi); err != nil {
+				lastErr = err
+				continue
+			}
+			next := jj
+			if !ftIt.Star {
+				next = jj + 1
+			}
+			if err := rec(i+1, next); err != nil {
+				lastErr = err
+				continue
+			}
+			memo[k] = nil
+			return nil
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("capability: filter item %d has no matching pattern position", i)
+		}
+		memo[k] = lastErr
+		return lastErr
+	}
+	return rec(0, 0)
+}
+
+func (c *checker) acceptItem(ftIt FTItem, fi filter.FItem) error {
+	if fi.Descend {
+		return fmt.Errorf("capability: descendant navigation (**) cannot be pushed")
+	}
+	if fi.CollectVar != "" {
+		// Collecting a subsequence requires the member position to allow
+		// tree binding and the edge to stay generic.
+		if ftIt.Inst == InstGround {
+			return fmt.Errorf("capability: collect-star on a ground edge")
+		}
+		if !ftIt.Star {
+			return fmt.Errorf("capability: collect-star on a non-star position")
+		}
+		if ftIt.F != nil && ftIt.F.Bind == BindNone {
+			return fmt.Errorf("capability: collect-star over unbindable members")
+		}
+		return nil
+	}
+	switch ftIt.Inst {
+	case InstGround:
+		if fi.Star {
+			return fmt.Errorf("capability: star edge must be instantiated (inst=ground)")
+		}
+	case InstNone:
+		if !fi.Star && ftIt.Star {
+			return fmt.Errorf("capability: edge must be left generic (inst=none); enumerating members is not supported")
+		}
+	}
+	return c.accept(ftIt.F, fi.F)
+}
+
+// String renders the Fpattern in a compact textual form (diagnostics).
+func (f *FT) String() string {
+	var b strings.Builder
+	f.write(&b)
+	return b.String()
+}
+
+func (f *FT) write(b *strings.Builder) {
+	if f == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	switch f.Kind {
+	case pattern.KAny:
+		b.WriteString("Any")
+	case pattern.KInt:
+		b.WriteString("Int")
+	case pattern.KFloat:
+		b.WriteString("Float")
+	case pattern.KBool:
+		b.WriteString("Bool")
+	case pattern.KString:
+		b.WriteString("String")
+	case pattern.KRef:
+		b.WriteByte('&')
+		b.WriteString(f.Name)
+	case pattern.KUnion:
+		b.WriteByte('(')
+		for i, a := range f.Alts {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			a.write(b)
+		}
+		b.WriteByte(')')
+	case pattern.KNode:
+		if f.AnyLabel {
+			b.WriteString("Symbol")
+		} else {
+			b.WriteString(f.Label)
+		}
+		var flags []string
+		if f.Bind != BindAny {
+			flags = append(flags, "bind="+f.Bind.String())
+		}
+		if f.Inst != InstAny {
+			flags = append(flags, "inst="+f.Inst.String())
+		}
+		if len(flags) > 0 {
+			fmt.Fprintf(b, "{%s}", strings.Join(flags, ","))
+		}
+		b.WriteString("[ ")
+		for i, it := range f.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if it.Star {
+				b.WriteByte('*')
+				if it.Inst != InstAny {
+					fmt.Fprintf(b, "{inst=%s}", it.Inst.String())
+				}
+			}
+			it.F.write(b)
+		}
+		b.WriteString(" ]")
+	}
+}

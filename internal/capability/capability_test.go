@@ -1,0 +1,292 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/filter"
+	"repro/internal/xmlenc"
+)
+
+// o2InterfaceXML transcribes Figure 6 of the paper: the O₂ filter patterns
+// and operational interface (extended with an Fextent pattern governing
+// binds over the artifacts extent, and the persons extent used by the
+// DJoin-to-Join rewriting of Figure 7).
+const o2InterfaceXML = `
+<interface name="o2artifact">
+ <fmodel name="o2fmodel">
+  <fpattern name="Fclass">
+   <node label="class" bind="tree">
+    <node label="Symbol" bind="none" inst="ground">
+     <ref pattern="Ftype"/></node></node>
+  </fpattern>
+  <fpattern name="Ftype">
+   <union>
+    <leaf label="Int"/>
+    <leaf label="Bool"/>
+    <leaf label="Float"/>
+    <leaf label="String"/>
+    <node label="tuple" bind="tree">
+     <star inst="ground">
+      <node label="Symbol" bind="none">
+       <ref pattern="Ftype"/></node></star></node>
+    <node label="set" col="set" bind="tree">
+     <star inst="none"><ref pattern="Ftype"/></star></node>
+    <node label="bag" col="bag" bind="tree">
+     <star inst="none"><ref pattern="Ftype"/></star></node>
+    <node label="list" col="list" bind="tree">
+     <star inst="none"><ref pattern="Ftype"/></star></node>
+    <node label="array" col="array" bind="tree">
+     <star inst="none"><ref pattern="Ftype"/></star></node>
+    <ref pattern="Fclass"/>
+   </union>
+  </fpattern>
+  <fpattern name="Fextent">
+   <node label="set" col="set" bind="tree">
+    <star inst="none"><ref pattern="Fclass"/></star></node>
+  </fpattern>
+ </fmodel>
+ <bindcap doc="artifacts" fmodel="o2fmodel" fpattern="Fextent"/>
+ <bindcap doc="persons" fmodel="o2fmodel" fpattern="Fextent"/>
+ <operation name="bind" kind="algebra">
+  <input>
+   <value model="o2model" pattern="Type"/>
+   <filter model="o2fmodel" pattern="Ftype"/></input>
+  <output><value model="yat" pattern="Tab"/></output>
+ </operation>
+ <operation name="select" kind="algebra"></operation>
+ <operation name="project" kind="algebra"></operation>
+ <operation name="join" kind="algebra"></operation>
+ <operation name="map" kind="algebra"></operation>
+ <operation name="eq" kind="boolean"></operation>
+ <operation name="leq" kind="boolean"></operation>
+ <operation name="current_price" kind="method">
+  <input><value model="artifacts" pattern="Artifact"/></input>
+  <output><leaf label="Float"/></output>
+ </operation>
+</interface>`
+
+// waisInterfaceXML transcribes the XML-Wais interface of Section 4.2.
+const waisInterfaceXML = `
+<interface name="xmlartwork">
+ <fmodel name="waisfmodel">
+  <fpattern name="Fworks">
+   <node label="works" bind="none" inst="ground">
+    <star inst="none">
+     <ref pattern="work" bind="tree"/>
+    </star></node>
+  </fpattern>
+ </fmodel>
+ <bindcap doc="works" fmodel="waisfmodel" fpattern="Fworks"/>
+ <operation name="bind" kind="algebra"></operation>
+ <operation name="select" kind="algebra"></operation>
+ <operation name="contains" kind="external">
+  <input>
+   <value model="Artworks_Structure" pattern="Work"/>
+   <leaf label="String"/></input>
+  <output><leaf label="Bool"/></output>
+ </operation>
+ <equivalence name="contains-eq" from="eq" to="contains" scope="work"/>
+</interface>`
+
+func o2Interface(t *testing.T) *Interface {
+	t.Helper()
+	i, err := Unmarshal(o2InterfaceXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+func waisInterface(t *testing.T) *Interface {
+	t.Helper()
+	i, err := Unmarshal(waisInterfaceXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+func TestFigure6ParseO2(t *testing.T) {
+	i := o2Interface(t)
+	if i.Name != "o2artifact" {
+		t.Errorf("name = %q", i.Name)
+	}
+	m := i.FModel("o2fmodel")
+	if m == nil {
+		t.Fatal("missing fmodel")
+	}
+	if len(m.Order) != 3 {
+		t.Errorf("fpatterns = %v", m.Order)
+	}
+	ftype := m.Lookup("Ftype")
+	if ftype == nil || len(ftype.Alts) != 10 {
+		t.Fatalf("Ftype = %v", ftype)
+	}
+	if !i.HasOperation("bind") || !i.HasOperation("eq") || i.HasOperation("contains") {
+		t.Error("operation set wrong")
+	}
+	op := i.Operation("current_price")
+	if op == nil || op.Kind != "method" || op.Output == nil || op.Output.Leaf != "Float" {
+		t.Errorf("current_price = %+v", op)
+	}
+}
+
+func TestInterfaceXMLRoundTrip(t *testing.T) {
+	for _, src := range []string{o2InterfaceXML, waisInterfaceXML} {
+		i, err := Unmarshal(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Marshal(i)
+		back, err := Unmarshal(s)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, s)
+		}
+		if Marshal(back) != s {
+			t.Errorf("round trip unstable for %s", i.Name)
+		}
+		if len(back.Operations) != len(i.Operations) || len(back.Binds) != len(i.Binds) {
+			t.Errorf("lost operations/binds in round trip")
+		}
+	}
+}
+
+// view1ArtifactsFilter is the artifacts-side Bind filter of the view1
+// integration program; per Section 4.1 it is entirely acceptable to O₂.
+const view1ArtifactsFilter = `set[ *class[ artifact.tuple[ title: $t, year: $y, creator: $c, price: $p,
+	owners.list[ *class[ person.tuple[ name: $o, auction: $au ] ] ] ] ] ]`
+
+func TestO2AcceptsView1Filter(t *testing.T) {
+	i := o2Interface(t)
+	f := filter.MustParse(view1ArtifactsFilter)
+	if err := i.AcceptsFilter("artifacts", f); err != nil {
+		t.Errorf("O2 must accept the view1 artifacts filter: %v", err)
+	}
+}
+
+func TestO2Acceptance(t *testing.T) {
+	i := o2Interface(t)
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+	}{
+		{"whole extent", `set[ *class@$c ]`, true},
+		{"tree var on class", `set[ *class@$c[ artifact.tuple[ title: $t ] ] ]`, true},
+		{"schema query (label var on class name)", `set[ *class[ ~$name: @Any ] ]`, false},
+		{"label var on attributes", `set[ *class[ artifact.tuple[ *~$attr: $v ] ] ]`, false},
+		{"wildcard class name ok if ground label", `set[ *class[ artifact: @Any ] ]`, true},
+		{"generic class name not ground", `set[ *class[ %[ tuple[ title: $t ] ] ] ]`, false},
+		{"enumerating set members", `set[ class[ artifact.tuple[ title: $t ] ] ]`, false},
+		{"descend", `set[ *class[ **title: $t ] ]`, false},
+		{"collect star over tuple attrs", `set[ *class[ artifact.tuple[ title: $t, *($rest) ] ] ]`, false},
+		{"constant leaf", `set[ *class[ artifact.tuple[ creator: "Claude Monet" ] ] ]`, true},
+		{"unknown doc", `set[ *class@$c ]`, true},
+	}
+	for _, c := range cases {
+		f := filter.MustParse(c.src)
+		err := i.AcceptsFilter("artifacts", f)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: AcceptsFilter(%s) = %v, want ok=%v", c.name, c.src, err, c.ok)
+		}
+	}
+	if err := i.AcceptsFilter("nosuchdoc", filter.MustParse(`set[ *class@$c ]`)); err == nil {
+		t.Error("unknown document must be rejected")
+	}
+}
+
+func TestWaisAcceptance(t *testing.T) {
+	i := waisInterface(t)
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+	}{
+		{"bind whole documents", `works[ *work@$w ]`, true},
+		{"navigate inside documents", `works[ *work[ title: $t ] ]`, false},
+		{"bind the works root", `works@$all[ *work@$w ]`, false},
+		{"single work", `works[ work@$w ]`, false},
+		{"collect works", `works[ *($docs) ]`, true},
+	}
+	for _, c := range cases {
+		f := filter.MustParse(c.src)
+		err := i.AcceptsFilter("works", f)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: AcceptsFilter(%s) = %v, want ok=%v", c.name, c.src, err, c.ok)
+		}
+	}
+}
+
+func TestEquivalenceLookup(t *testing.T) {
+	i := waisInterface(t)
+	eq := i.EquivalenceTo("contains")
+	if eq == nil || eq.From != "eq" || eq.Scope != "work" {
+		t.Fatalf("equivalence = %+v", eq)
+	}
+	if o2Interface(t).EquivalenceTo("contains") != nil {
+		t.Error("O2 declares no contains equivalence")
+	}
+}
+
+func TestFTString(t *testing.T) {
+	i := o2Interface(t)
+	s := i.FModel("o2fmodel").Lookup("Fclass").String()
+	for _, frag := range []string{"class{bind=tree}", "Symbol{bind=none,inst=ground}", "&Ftype"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("FT string missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestFTXMLErrors(t *testing.T) {
+	bad := []string{
+		`<leaf label="Void"/>`,
+		`<ref/>`,
+		`<mystery/>`,
+		`<node label="a"><star/></node>`,
+	}
+	for _, src := range bad {
+		n, err := parseXMLFixture(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := FTFromXML(n); err == nil {
+			t.Errorf("FTFromXML(%q) should fail", src)
+		}
+	}
+	if _, err := Unmarshal(`<notaninterface/>`); err == nil {
+		t.Error("non-interface root must fail")
+	}
+	if _, err := Unmarshal(`<interface name="x"><fmodel name="m"><fpattern name="p"></fpattern></fmodel></interface>`); err == nil {
+		t.Error("empty fpattern must fail")
+	}
+}
+
+func TestFlagParsing(t *testing.T) {
+	for _, c := range []struct {
+		s string
+		b BindFlag
+	}{{"tree", BindTree}, {"label", BindLabel}, {"none", BindNone}, {"", BindAny}, {"junk", BindAny}} {
+		if got := BindFlagFromString(c.s); got != c.b {
+			t.Errorf("BindFlagFromString(%q) = %v", c.s, got)
+		}
+		if c.s != "junk" && c.b.String() != c.s {
+			t.Errorf("%v.String() = %q", c.b, c.b.String())
+		}
+	}
+	for _, c := range []struct {
+		s string
+		f InstFlag
+	}{{"ground", InstGround}, {"none", InstNone}, {"", InstAny}} {
+		if got := InstFlagFromString(c.s); got != c.f {
+			t.Errorf("InstFlagFromString(%q) = %v", c.s, got)
+		}
+		if c.f.String() != c.s {
+			t.Errorf("%v.String() = %q", c.f, c.f.String())
+		}
+	}
+}
+
+func parseXMLFixture(src string) (*data.Node, error) { return xmlenc.Parse(src) }

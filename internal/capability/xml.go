@@ -1,0 +1,353 @@
+package capability
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/pattern"
+	"repro/internal/xmlenc"
+)
+
+// XML serialization in the Figure 6 dialect:
+//
+//	<interface name="o2artifact">
+//	  <fmodel name="o2fmodel">
+//	    <fpattern name="Fclass">
+//	      <node label="class" bind="tree">
+//	        <node label="Symbol" bind="none" inst="ground">
+//	          <ref pattern="Ftype"/></node></node>
+//	    </fpattern>
+//	  </fmodel>
+//	  <bindcap doc="artifacts" fmodel="o2fmodel" fpattern="Fextent"/>
+//	  <operation name="bind" kind="algebra">
+//	    <input><value model="o2model" pattern="Type"/>
+//	           <filter model="o2fmodel" pattern="Ftype"/></input>
+//	    <output><value model="yat" pattern="Tab"/></output>
+//	  </operation>
+//	  <equivalence name="contains-eq" from="eq" to="contains" scope="Fwork"/>
+//	</interface>
+//
+// Fpattern elements: <node>, <leaf label="Int"/>, <star inst=...>, <union>,
+// <ref pattern=...>, <any/>.
+
+// FTToXML serializes an Fpattern node.
+func FTToXML(f *FT) *data.Node {
+	switch f.Kind {
+	case pattern.KAny:
+		return data.Elem("any")
+	case pattern.KInt:
+		return leafXML("Int")
+	case pattern.KFloat:
+		return leafXML("Float")
+	case pattern.KBool:
+		return leafXML("Bool")
+	case pattern.KString:
+		return leafXML("String")
+	case pattern.KRef:
+		n := data.Elem("ref")
+		n.Add(data.Text("@pattern", f.Name))
+		if f.Bind != BindAny {
+			n.Add(data.Text("@bind", f.Bind.String()))
+		}
+		return n
+	case pattern.KUnion:
+		n := data.Elem("union")
+		for _, a := range f.Alts {
+			n.Add(FTToXML(a))
+		}
+		return n
+	case pattern.KNode:
+		n := data.Elem("node")
+		label := f.Label
+		if f.AnyLabel {
+			label = "Symbol"
+		}
+		n.Add(data.Text("@label", label))
+		if f.Col != pattern.ColNone {
+			n.Add(data.Text("@col", f.Col.String()))
+		}
+		if f.Bind != BindAny {
+			n.Add(data.Text("@bind", f.Bind.String()))
+		}
+		if f.Inst != InstAny {
+			n.Add(data.Text("@inst", f.Inst.String()))
+		}
+		for _, it := range f.Items {
+			kid := FTToXML(it.F)
+			if it.Star {
+				star := data.Elem("star", kid)
+				if it.Inst != InstAny {
+					star.Kids = append([]*data.Node{data.Text("@inst", it.Inst.String())}, star.Kids...)
+				}
+				kid = star
+			}
+			n.Add(kid)
+		}
+		return n
+	default:
+		return data.Elem("any")
+	}
+}
+
+func leafXML(label string) *data.Node {
+	n := data.Elem("leaf")
+	n.Add(data.Text("@label", label))
+	return n
+}
+
+// FTFromXML parses an Fpattern node.
+func FTFromXML(n *data.Node) (*FT, error) {
+	if n == nil {
+		return nil, fmt.Errorf("capability: nil fpattern element")
+	}
+	switch n.Label {
+	case "any":
+		return &FT{Kind: pattern.KAny}, nil
+	case "leaf":
+		switch attr(n, "label") {
+		case "Int":
+			return &FT{Kind: pattern.KInt}, nil
+		case "Float":
+			return &FT{Kind: pattern.KFloat}, nil
+		case "Bool":
+			return &FT{Kind: pattern.KBool}, nil
+		case "String":
+			return &FT{Kind: pattern.KString}, nil
+		default:
+			return nil, fmt.Errorf("capability: unknown leaf label %q", attr(n, "label"))
+		}
+	case "ref", "value":
+		name := attr(n, "pattern")
+		if name == "" {
+			return nil, fmt.Errorf("capability: <%s> without pattern attribute", n.Label)
+		}
+		return &FT{Kind: pattern.KRef, Name: name, Bind: BindFlagFromString(attr(n, "bind"))}, nil
+	case "union":
+		u := &FT{Kind: pattern.KUnion}
+		for _, k := range n.Kids {
+			if isAttr(k) {
+				continue
+			}
+			a, err := FTFromXML(k)
+			if err != nil {
+				return nil, err
+			}
+			u.Alts = append(u.Alts, a)
+		}
+		return u, nil
+	case "node":
+		f := &FT{
+			Kind:  pattern.KNode,
+			Label: attr(n, "label"),
+			Col:   pattern.ColFromString(attr(n, "col")),
+			Bind:  BindFlagFromString(attr(n, "bind")),
+			Inst:  InstFlagFromString(attr(n, "inst")),
+		}
+		if f.Label == "Symbol" {
+			f.Label, f.AnyLabel = "", true
+		}
+		for _, k := range n.Kids {
+			if isAttr(k) {
+				continue
+			}
+			it := FTItem{}
+			src := k
+			if k.Label == "star" {
+				it.Star = true
+				it.Inst = InstFlagFromString(attr(k, "inst"))
+				src = firstElem(k)
+				if src == nil {
+					return nil, fmt.Errorf("capability: empty <star>")
+				}
+			}
+			sub, err := FTFromXML(src)
+			if err != nil {
+				return nil, err
+			}
+			it.F = sub
+			f.Items = append(f.Items, it)
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("capability: unknown fpattern element <%s>", n.Label)
+	}
+}
+
+// ToXML serializes the full interface.
+func ToXML(i *Interface) *data.Node {
+	root := data.Elem("interface")
+	root.Add(data.Text("@name", i.Name))
+	for _, m := range i.FModels {
+		me := data.Elem("fmodel")
+		me.Add(data.Text("@name", m.Name))
+		for _, name := range m.Order {
+			pe := data.Elem("fpattern")
+			pe.Add(data.Text("@name", name))
+			pe.Add(FTToXML(m.Defs[name]))
+			me.Add(pe)
+		}
+		root.Add(me)
+	}
+	// Deterministic order for bind capabilities.
+	var docs []string
+	for d := range i.Binds {
+		docs = append(docs, d)
+	}
+	sortStrings(docs)
+	for _, d := range docs {
+		bc := i.Binds[d]
+		be := data.Elem("bindcap")
+		be.Add(data.Text("@doc", d))
+		be.Add(data.Text("@fmodel", bc.FModel))
+		be.Add(data.Text("@fpattern", bc.FPattern))
+		root.Add(be)
+	}
+	for _, op := range i.Operations {
+		oe := data.Elem("operation")
+		oe.Add(data.Text("@name", op.Name))
+		oe.Add(data.Text("@kind", op.Kind))
+		if len(op.Inputs) > 0 {
+			in := data.Elem("input")
+			for _, s := range op.Inputs {
+				in.Add(sigToXML(s))
+			}
+			oe.Add(in)
+		}
+		if op.Output != nil {
+			oe.Add(data.Elem("output", sigToXML(*op.Output)))
+		}
+		root.Add(oe)
+	}
+	for _, eq := range i.Equivalences {
+		ee := data.Elem("equivalence")
+		ee.Add(data.Text("@name", eq.Name))
+		ee.Add(data.Text("@from", eq.From))
+		ee.Add(data.Text("@to", eq.To))
+		ee.Add(data.Text("@scope", eq.Scope))
+		root.Add(ee)
+	}
+	return root
+}
+
+func sigToXML(s Sig) *data.Node {
+	label := "value"
+	if s.IsFilter {
+		label = "filter"
+	}
+	if s.Leaf != "" {
+		n := data.Elem("leaf")
+		n.Add(data.Text("@label", s.Leaf))
+		return n
+	}
+	n := data.Elem(label)
+	if s.Model != "" {
+		n.Add(data.Text("@model", s.Model))
+	}
+	n.Add(data.Text("@pattern", s.Pattern))
+	return n
+}
+
+// FromXML parses an interface description.
+func FromXML(n *data.Node) (*Interface, error) {
+	if n == nil || n.Label != "interface" {
+		return nil, fmt.Errorf("capability: expected <interface>")
+	}
+	i := NewInterface(attr(n, "name"))
+	for _, k := range n.Kids {
+		switch k.Label {
+		case "fmodel":
+			m := NewFModel(attr(k, "name"))
+			for _, pe := range k.Kids {
+				if pe.Label != "fpattern" {
+					continue
+				}
+				body := firstElem(pe)
+				if body == nil {
+					return nil, fmt.Errorf("capability: empty <fpattern>")
+				}
+				ft, err := FTFromXML(body)
+				if err != nil {
+					return nil, fmt.Errorf("fpattern %s: %w", attr(pe, "name"), err)
+				}
+				m.Define(attr(pe, "name"), ft)
+			}
+			i.FModels = append(i.FModels, m)
+		case "bindcap":
+			i.Binds[attr(k, "doc")] = BindCap{FModel: attr(k, "fmodel"), FPattern: attr(k, "fpattern")}
+		case "operation":
+			op := Operation{Name: attr(k, "name"), Kind: attr(k, "kind")}
+			if in := k.Child("input"); in != nil {
+				for _, s := range in.Kids {
+					if isAttr(s) {
+						continue
+					}
+					op.Inputs = append(op.Inputs, sigFromXML(s))
+				}
+			}
+			if out := k.Child("output"); out != nil {
+				if s := firstElem(out); s != nil {
+					sig := sigFromXML(s)
+					op.Output = &sig
+				}
+			}
+			i.Operations = append(i.Operations, op)
+		case "equivalence":
+			i.Equivalences = append(i.Equivalences, Equivalence{
+				Name:  attr(k, "name"),
+				From:  attr(k, "from"),
+				To:    attr(k, "to"),
+				Scope: attr(k, "scope"),
+			})
+		}
+	}
+	return i, nil
+}
+
+func sigFromXML(n *data.Node) Sig {
+	if n.Label == "leaf" {
+		return Sig{Leaf: attr(n, "label")}
+	}
+	return Sig{
+		Model:    attr(n, "model"),
+		Pattern:  attr(n, "pattern"),
+		IsFilter: n.Label == "filter",
+	}
+}
+
+// Marshal renders the interface as indented XML.
+func Marshal(i *Interface) string { return xmlenc.SerializeIndent(ToXML(i)) }
+
+// Unmarshal parses an interface from XML text.
+func Unmarshal(src string) (*Interface, error) {
+	n, err := xmlenc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromXML(n)
+}
+
+func attr(n *data.Node, name string) string {
+	if c := n.Child("@" + name); c != nil && c.Atom != nil {
+		return c.Atom.S
+	}
+	return ""
+}
+
+func isAttr(n *data.Node) bool { return len(n.Label) > 0 && n.Label[0] == '@' }
+
+func firstElem(n *data.Node) *data.Node {
+	for _, k := range n.Kids {
+		if !isAttr(k) {
+			return k
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

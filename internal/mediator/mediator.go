@@ -1,0 +1,402 @@
+// Package mediator implements the YAT mediator of Figure 2: it connects
+// wrappers, imports their structural and operational capabilities, loads
+// YAT_L integration programs (views), composes user queries with view
+// definitions, invokes the three-round optimizer and executes the resulting
+// distributed plans.
+package mediator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/data"
+	"repro/internal/optimizer"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+	"repro/internal/yatl"
+)
+
+// Mediator coordinates sources, views and query evaluation.
+type Mediator struct {
+	sources    map[string]algebra.Source
+	ifaces     map[string]*capability.Interface
+	sourceDocs map[string]string
+	structures map[string]optimizer.Structure
+	funcs      map[string]algebra.Func
+	views      map[string]*View
+	viewOrder  []string
+	assume     []optimizer.Containment
+	// Trace receives optimizer rewriting lines when non-nil.
+	Trace func(string)
+}
+
+// View is a registered YAT_L rule with its algebraic translation.
+type View struct {
+	Rule *yatl.Rule
+	Plan algebra.Op
+}
+
+// New returns an empty mediator.
+func New() *Mediator {
+	return &Mediator{
+		sources:    map[string]algebra.Source{},
+		ifaces:     map[string]*capability.Interface{},
+		sourceDocs: map[string]string{},
+		structures: map[string]optimizer.Structure{},
+		funcs:      map[string]algebra.Func{},
+		views:      map[string]*View{},
+	}
+}
+
+// Connect registers a wrapper and imports its operational interface (the
+// `connect` + `import` steps of Figure 2). Every document the source
+// exports becomes resolvable.
+func (m *Mediator) Connect(src algebra.Source, iface *capability.Interface) error {
+	name := src.Name()
+	if _, dup := m.sources[name]; dup {
+		return fmt.Errorf("mediator: source %q already connected", name)
+	}
+	m.sources[name] = src
+	if iface != nil {
+		m.ifaces[name] = iface
+	}
+	for _, d := range src.Documents() {
+		if owner, dup := m.sourceDocs[d]; dup {
+			return fmt.Errorf("mediator: document %q exported by both %s and %s", d, owner, name)
+		}
+		m.sourceDocs[d] = name
+	}
+	return nil
+}
+
+// ImportStructure records the structural pattern governing a document,
+// enabling the type-driven rewritings of Section 5.1.
+func (m *Mediator) ImportStructure(doc string, model *pattern.Model, patternName string) {
+	m.structures[doc] = optimizer.Structure{Model: model, Pattern: patternName}
+}
+
+// RegisterFunc registers an external function evaluable at the mediator
+// (e.g. contains, or a method the wrapper exposes for callback).
+func (m *Mediator) RegisterFunc(name string, fn algebra.Func) { m.funcs[name] = fn }
+
+// Assume declares a containment assumption enabling source pruning
+// (Figure 8): joining keep with the drop branch preserves all keep rows.
+// The optional modulo conjuncts (printed predicate forms, e.g. "$y > 1800")
+// are the selections the assumption absorbs; branches carrying any other
+// selection are never pruned.
+func (m *Mediator) Assume(drop, keep string, modulo ...string) {
+	m.assume = append(m.assume, optimizer.Containment{Drop: drop, Keep: keep, Modulo: modulo})
+}
+
+// LoadProgram parses a YAT_L integration program and registers each rule as
+// a view (the `load "view1.yat"` step of Figure 2).
+func (m *Mediator) LoadProgram(src string) error {
+	p, err := yatl.Parse(src)
+	if err != nil {
+		return err
+	}
+	for i := range p.Rules {
+		if err := m.DefineView(&p.Rules[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefineView translates and registers one rule.
+func (m *Mediator) DefineView(r *yatl.Rule) error {
+	plan, err := yatl.Translate(r)
+	if err != nil {
+		return err
+	}
+	if _, dup := m.views[r.Name]; !dup {
+		m.viewOrder = append(m.viewOrder, r.Name)
+	}
+	m.views[r.Name] = &View{Rule: r, Plan: plan}
+	return nil
+}
+
+// Views lists the registered view names in definition order.
+func (m *Mediator) Views() []string { return append([]string(nil), m.viewOrder...) }
+
+// View returns a registered view, or nil.
+func (m *Mediator) View(name string) *View { return m.views[name] }
+
+// Sources lists connected source names.
+func (m *Mediator) Sources() []string {
+	var out []string
+	for n := range m.sources {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Interface returns a connected source's capability interface.
+func (m *Mediator) Interface(source string) *capability.Interface { return m.ifaces[source] }
+
+// newContext builds a fresh evaluation context for one query.
+func (m *Mediator) newContext() *algebra.Context {
+	ctx := algebra.NewContext()
+	for n, s := range m.sources {
+		ctx.Sources[n] = s
+	}
+	for n, f := range m.funcs {
+		ctx.Funcs[n] = f
+	}
+	merged := pattern.NewModel("mediator")
+	for _, st := range m.structures {
+		for _, name := range st.Model.Names() {
+			merged.Define(name, st.Model.Defs[name])
+		}
+	}
+	ctx.Model = merged
+	return ctx
+}
+
+// Compose parses a query and substitutes view definitions for the named
+// documents it matches, yielding the naive composed plan (the left-hand
+// side of Figure 8).
+func (m *Mediator) Compose(querySrc string) (algebra.Op, error) {
+	q, err := yatl.ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := yatl.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.substituteViews(plan, 0)
+}
+
+// substituteViews replaces Bind(doc) leaves naming views with Binds over
+// the view's Tree plan.
+func (m *Mediator) substituteViews(op algebra.Op, depth int) (algebra.Op, error) {
+	if depth > 16 {
+		return nil, fmt.Errorf("mediator: view nesting too deep (cycle?)")
+	}
+	var firstErr error
+	rebuild := func(c algebra.Op) algebra.Op {
+		out, err := m.substituteViews(c, depth)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return out
+	}
+	switch x := op.(type) {
+	case *algebra.Bind:
+		if x.Doc != "" {
+			if v, ok := m.views[x.Doc]; ok {
+				inner, err := m.substituteViews(v.Plan, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				t, ok := inner.(*algebra.TreeOp)
+				if !ok {
+					return nil, fmt.Errorf("mediator: view %s does not end in a Tree", x.Doc)
+				}
+				return &algebra.Bind{From: t, Col: t.Columns()[0], F: x.F}, nil
+			}
+			if _, known := m.sourceDocs[x.Doc]; !known {
+				return nil, fmt.Errorf("mediator: unknown document %q (no source or view exports it)", x.Doc)
+			}
+			return x, nil
+		}
+		if x.From != nil {
+			out := rebuildBind(x, rebuild(x.From))
+			return out, firstErr
+		}
+		return x, nil
+	case *algebra.Doc:
+		if _, ok := m.views[x.Name]; ok {
+			return nil, fmt.Errorf("mediator: Doc over view %q is not supported; use Bind", x.Name)
+		}
+		return x, nil
+	default:
+		out := rebuildAll(op, rebuild)
+		return out, firstErr
+	}
+}
+
+func rebuildBind(b *algebra.Bind, from algebra.Op) *algebra.Bind {
+	return &algebra.Bind{From: from, Doc: b.Doc, Col: b.Col, F: b.F}
+}
+
+// rebuildAll rebuilds any operator with mapped children.
+func rebuildAll(op algebra.Op, fn func(algebra.Op) algebra.Op) algebra.Op {
+	switch x := op.(type) {
+	case *algebra.Select:
+		return &algebra.Select{From: fn(x.From), Pred: x.Pred}
+	case *algebra.Project:
+		return &algebra.Project{From: fn(x.From), Cols: x.Cols}
+	case *algebra.MapExpr:
+		return &algebra.MapExpr{From: fn(x.From), Col: x.Col, E: x.E}
+	case *algebra.Join:
+		return &algebra.Join{L: fn(x.L), R: fn(x.R), Pred: x.Pred}
+	case *algebra.DJoin:
+		return &algebra.DJoin{L: fn(x.L), R: fn(x.R)}
+	case *algebra.Union:
+		return &algebra.Union{L: fn(x.L), R: fn(x.R)}
+	case *algebra.Intersect:
+		return &algebra.Intersect{L: fn(x.L), R: fn(x.R)}
+	case *algebra.Distinct:
+		return &algebra.Distinct{From: fn(x.From)}
+	case *algebra.Group:
+		return &algebra.Group{From: fn(x.From), Keys: x.Keys, Into: x.Into}
+	case *algebra.Sort:
+		return &algebra.Sort{From: fn(x.From), Cols: x.Cols}
+	case *algebra.TreeOp:
+		return &algebra.TreeOp{From: fn(x.From), C: x.C, OutCol: x.OutCol}
+	default:
+		return op
+	}
+}
+
+// optimizerOptions assembles the optimizer configuration from the imported
+// capabilities.
+func (m *Mediator) optimizerOptions() optimizer.Options {
+	ifaces := map[string]*capability.Interface{}
+	for n, i := range m.ifaces {
+		ifaces[n] = i
+	}
+	return optimizer.Options{
+		Interfaces:  ifaces,
+		SourceDocs:  m.sourceDocs,
+		Structures:  m.structures,
+		Assume:      m.assume,
+		InfoPassing: true,
+		Trace:       m.Trace,
+	}
+}
+
+// Optimize runs the three-round optimizer over a composed plan.
+func (m *Mediator) Optimize(plan algebra.Op) algebra.Op {
+	return optimizer.New(m.optimizerOptions()).Optimize(plan)
+}
+
+// Result bundles a query outcome with its plans and execution counters.
+type Result struct {
+	Tab       *tab.Tab
+	NaivePlan string
+	Plan      string
+	Stats     algebra.Stats
+}
+
+// Query composes, optimizes and executes a YAT_L query.
+func (m *Mediator) Query(querySrc string) (*Result, error) {
+	naive, err := m.Compose(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	opt := m.Optimize(naive)
+	ctx := m.newContext()
+	t, err := opt.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tab:       t,
+		NaivePlan: algebra.Describe(naive),
+		Plan:      algebra.Describe(opt),
+		Stats:     *ctx.Stats,
+	}, nil
+}
+
+// QueryCustom composes and executes a query with a tuned optimizer
+// configuration; tune may flip the ablation switches (used by the
+// EXPERIMENTS.md driver to isolate the contribution of each round).
+func (m *Mediator) QueryCustom(querySrc string, tune func(*optimizer.Options)) (*Result, error) {
+	naive, err := m.Compose(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	opts := m.optimizerOptions()
+	if tune != nil {
+		tune(&opts)
+	}
+	opt := optimizer.New(opts).Optimize(naive)
+	ctx := m.newContext()
+	t, err := opt.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tab:       t,
+		NaivePlan: algebra.Describe(naive),
+		Plan:      algebra.Describe(opt),
+		Stats:     *ctx.Stats,
+	}, nil
+}
+
+// QueryNaive composes and executes a query without optimization: the view
+// is materialized and the query evaluated on the result (the naive strategy
+// of Section 5.2).
+func (m *Mediator) QueryNaive(querySrc string) (*Result, error) {
+	naive, err := m.Compose(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	ctx := m.newContext()
+	t, err := naive.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tab: t, NaivePlan: algebra.Describe(naive), Plan: algebra.Describe(naive), Stats: *ctx.Stats}, nil
+}
+
+// Materialize evaluates a view and returns its document forest (used by
+// examples to display the integrated XML).
+func (m *Mediator) Materialize(view string) (*tab.Tab, error) {
+	v, ok := m.views[view]
+	if !ok {
+		return nil, fmt.Errorf("mediator: unknown view %q", view)
+	}
+	plan, err := m.substituteViews(v.Plan, 1)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Eval(m.newContext())
+}
+
+// MaterializeProgram evaluates every registered view within one shared
+// context, so that Skolem identifiers fuse across rules (the object fusion
+// of Section 2: "partial results are connected together through Skolem
+// functions"). A reference created by one rule — e.g. &person($o) inside
+// artworks() — resolves to the tree another rule builds with the same
+// Skolem function and arguments. It returns one forest per view plus the
+// store resolving every identifier minted during materialization.
+func (m *Mediator) MaterializeProgram() (map[string]data.Forest, *data.Store, error) {
+	ctx := m.newContext()
+	out := map[string]data.Forest{}
+	for _, name := range m.viewOrder {
+		plan, err := m.substituteViews(m.views[name].Plan, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := plan.Eval(ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("view %s: %w", name, err)
+		}
+		var forest data.Forest
+		for _, r := range t.Rows {
+			if r[0].Kind == tab.CTree {
+				forest = append(forest, r[0].Tree)
+			}
+		}
+		out[name] = forest
+		ctx.Catalog[name] = forest
+	}
+	return out, ctx.Store, nil
+}
+
+// Describe renders a summary of the mediator's state (console `status`).
+func (m *Mediator) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sources:\n")
+	for n, s := range m.sources {
+		fmt.Fprintf(&b, "  %s exports %s\n", n, strings.Join(s.Documents(), ", "))
+	}
+	fmt.Fprintf(&b, "views: %s\n", strings.Join(m.viewOrder, ", "))
+	return b.String()
+}

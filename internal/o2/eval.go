@@ -1,0 +1,413 @@
+package o2
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OQL evaluation: nested-loop iteration over the from-ranges with dependent
+// paths, predicate filtering, struct projection, distinct and order-by.
+// When the where-clause contains `var.attr = literal` over an extent range
+// with a hash index, the index restricts that range's candidates — the
+// associative access of Section 5.3.
+
+type oenv map[string]Val
+
+// Execute parses and runs an OQL query, returning the result collection
+// (a bag, or a set under distinct).
+func (db *DB) Execute(src string) (Val, error) {
+	q, err := ParseOQL(src)
+	if err != nil {
+		return Nil(), err
+	}
+	return db.Run(q)
+}
+
+// Run evaluates a parsed query.
+func (db *DB) Run(q *Query) (Val, error) {
+	db.QueriesRun++
+	var out []Val
+	env := oenv{}
+	err := db.iterate(q, q.Ranges, env, func() error {
+		if q.Where != nil {
+			ok, err := db.truth(q.Where, env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		v, err := db.project(q, env)
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return Nil(), err
+	}
+	if len(q.OrderBy) > 0 {
+		if err := db.orderBy(q, out, env); err != nil {
+			return Nil(), err
+		}
+	}
+	kind := CBag
+	if q.Distinct {
+		kind = CSet
+		var dedup []Val
+		for _, v := range out {
+			found := false
+			for _, d := range dedup {
+				if d.Equal(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dedup = append(dedup, v)
+			}
+		}
+		out = dedup
+	}
+	return Coll(kind, out...), nil
+}
+
+// orderBy sorts results by re-evaluating order keys; it requires each order
+// key to be a projected field or a literal path over the projection.
+func (db *DB) orderBy(q *Query, out []Val, env oenv) error {
+	keys := make([][]Val, len(out))
+	for i, row := range out {
+		keys[i] = make([]Val, len(q.OrderBy))
+		for j, ob := range q.OrderBy {
+			// Order keys reference projected fields by name.
+			p, ok := ob.E.(*OPath)
+			if !ok || len(p.Steps) != 0 || row.Kind != VTuple {
+				return fmt.Errorf("oql: order by supports projected field names only")
+			}
+			v, exists := row.Fields[p.Root]
+			if !exists {
+				return fmt.Errorf("oql: order by unknown field %q", p.Root)
+			}
+			keys[i][j] = v
+		}
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, ob := range q.OrderBy {
+			c := keys[idx[a]][j].Compare(keys[idx[b]][j])
+			if ob.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	sorted := make([]Val, len(out))
+	for i, k := range idx {
+		sorted[i] = out[k]
+	}
+	copy(out, sorted)
+	return nil
+}
+
+func (db *DB) project(q *Query, env oenv) (Val, error) {
+	if q.Star {
+		if len(q.Ranges) == 1 {
+			return env[q.Ranges[0].Var], nil
+		}
+		pairs := []any{}
+		for _, r := range q.Ranges {
+			pairs = append(pairs, r.Var, env[r.Var])
+		}
+		return Tuple(pairs...), nil
+	}
+	if len(q.Proj) == 1 && q.Proj[0].Name == "" {
+		return db.eval(q.Proj[0].E, env)
+	}
+	pairs := []any{}
+	for i, p := range q.Proj {
+		v, err := db.eval(p.E, env)
+		if err != nil {
+			return Nil(), err
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("f%d", i+1)
+		}
+		pairs = append(pairs, name, v)
+	}
+	return Tuple(pairs...), nil
+}
+
+// iterate runs fn for every binding of the remaining ranges.
+func (db *DB) iterate(q *Query, ranges []Range, env oenv, fn func() error) error {
+	if len(ranges) == 0 {
+		return fn()
+	}
+	r := ranges[0]
+	coll, err := db.rangeCandidates(q, r, env)
+	if err != nil {
+		return err
+	}
+	for _, elem := range coll {
+		env[r.Var] = elem
+		if err := db.iterate(q, ranges[1:], env, fn); err != nil {
+			return err
+		}
+	}
+	delete(env, r.Var)
+	return nil
+}
+
+// rangeCandidates resolves the collection a range iterates, using a hash
+// index when the range scans a whole extent and the where-clause pins an
+// indexed attribute to a literal.
+func (db *DB) rangeCandidates(q *Query, r Range, env oenv) ([]Val, error) {
+	// Direct extent scan: try the index.
+	if len(r.Path.Steps) == 0 {
+		if _, bound := env[r.Path.Root]; !bound {
+			if oids, ok := db.Extents[r.Path.Root]; ok {
+				cls := db.Schema.ClassByExtent(r.Path.Root)
+				if cls != nil && q.Where != nil {
+					if sel, ok := db.indexableConjunct(q.Where, r.Var, cls); ok {
+						return sel, nil
+					}
+				}
+				out := make([]Val, len(oids))
+				for i, oid := range oids {
+					out[i] = Oid(oid)
+				}
+				return out, nil
+			}
+		}
+	}
+	v, err := db.evalPath(r.Path, env)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != VColl {
+		return nil, fmt.Errorf("oql: range %s iterates a non-collection %s", r.Var, v)
+	}
+	return v.Elems, nil
+}
+
+// indexableConjunct scans the where-clause conjuncts for `var.attr = lit`
+// with an index on (class, attr); it returns the restricted candidates.
+func (db *DB) indexableConjunct(e OExpr, rangeVar string, cls *Class) ([]Val, bool) {
+	switch x := e.(type) {
+	case OBool:
+		if x.Op == "and" {
+			if got, ok := db.indexableConjunct(x.L, rangeVar, cls); ok {
+				return got, true
+			}
+			return db.indexableConjunct(x.R, rangeVar, cls)
+		}
+	case OCmp:
+		if x.Op != "=" {
+			return nil, false
+		}
+		path, lit := x.L, x.R
+		p, ok := path.(*OPath)
+		if !ok {
+			p, ok = lit.(*OPath)
+			if !ok {
+				return nil, false
+			}
+			lit = x.L
+		}
+		l, ok := lit.(OLit)
+		if !ok {
+			return nil, false
+		}
+		if p.Root != rangeVar || len(p.Steps) != 1 || p.Steps[0].Method {
+			return nil, false
+		}
+		oids, ok := db.IndexLookup(cls.Name, p.Steps[0].Name, l.V)
+		if !ok {
+			return nil, false
+		}
+		out := make([]Val, len(oids))
+		for i, oid := range oids {
+			out[i] = Oid(oid)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func (db *DB) truth(e OExpr, env oenv) (bool, error) {
+	v, err := db.eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != VBool {
+		return false, fmt.Errorf("oql: predicate evaluated to %s, not boolean", v)
+	}
+	return v.B, nil
+}
+
+func (db *DB) eval(e OExpr, env oenv) (Val, error) {
+	switch x := e.(type) {
+	case OLit:
+		return x.V, nil
+	case *OPath:
+		return db.evalPath(x, env)
+	case OCmp:
+		l, err := db.eval(x.L, env)
+		if err != nil {
+			return Nil(), err
+		}
+		r, err := db.eval(x.R, env)
+		if err != nil {
+			return Nil(), err
+		}
+		switch x.Op {
+		case "=":
+			return Bool(l.Equal(r)), nil
+		case "!=":
+			return Bool(!l.Equal(r)), nil
+		}
+		if !l.IsNumeric() && l.Kind != VStr || !r.IsNumeric() && r.Kind != VStr {
+			return Nil(), fmt.Errorf("oql: ordered comparison on %s and %s", l, r)
+		}
+		c := l.Compare(r)
+		switch x.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		case ">=":
+			return Bool(c >= 0), nil
+		default:
+			return Nil(), fmt.Errorf("oql: unknown comparison %q", x.Op)
+		}
+	case OBool:
+		if x.Op == "not" {
+			v, err := db.truth(x.R, env)
+			if err != nil {
+				return Nil(), err
+			}
+			return Bool(!v), nil
+		}
+		l, err := db.truth(x.L, env)
+		if err != nil {
+			return Nil(), err
+		}
+		if x.Op == "and" && !l {
+			return Bool(false), nil
+		}
+		if x.Op == "or" && l {
+			return Bool(true), nil
+		}
+		r, err := db.truth(x.R, env)
+		if err != nil {
+			return Nil(), err
+		}
+		return Bool(r), nil
+	case OArith:
+		l, err := db.eval(x.L, env)
+		if err != nil {
+			return Nil(), err
+		}
+		r, err := db.eval(x.R, env)
+		if err != nil {
+			return Nil(), err
+		}
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return Nil(), fmt.Errorf("oql: arithmetic on %s and %s", l, r)
+		}
+		if l.Kind == VInt && r.Kind == VInt && x.Op != "/" {
+			switch x.Op {
+			case "+":
+				return Int(l.I + r.I), nil
+			case "-":
+				return Int(l.I - r.I), nil
+			case "*":
+				return Int(l.I * r.I), nil
+			}
+		}
+		a, b := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case "+":
+			return Float(a + b), nil
+		case "-":
+			return Float(a - b), nil
+		case "*":
+			return Float(a * b), nil
+		case "/":
+			if b == 0 {
+				return Nil(), fmt.Errorf("oql: division by zero")
+			}
+			return Float(a / b), nil
+		default:
+			return Nil(), fmt.Errorf("oql: unknown operator %q", x.Op)
+		}
+	default:
+		return Nil(), fmt.Errorf("oql: unsupported expression %T", e)
+	}
+}
+
+// evalPath resolves a path: the root is a bound variable or a named extent;
+// steps navigate tuple attributes (dereferencing oids transparently) or
+// invoke methods.
+func (db *DB) evalPath(p *OPath, env oenv) (Val, error) {
+	var cur Val
+	if v, ok := env[p.Root]; ok {
+		cur = v
+	} else if oids, ok := db.Extents[p.Root]; ok {
+		elems := make([]Val, len(oids))
+		for i, oid := range oids {
+			elems[i] = Oid(oid)
+		}
+		cur = Coll(CSet, elems...)
+	} else {
+		return Nil(), fmt.Errorf("oql: unknown name %q", p.Root)
+	}
+	for _, s := range p.Steps {
+		if s.Method {
+			if cur.Kind != VOid {
+				return Nil(), fmt.Errorf("oql: method %s on non-object %s", s.Name, cur)
+			}
+			o := db.Objects[cur.S]
+			if o == nil {
+				return Nil(), fmt.Errorf("oql: dangling reference %s", cur.S)
+			}
+			m := db.Schema.Classes[o.Class].Methods[s.Name]
+			if m == nil {
+				return Nil(), fmt.Errorf("oql: class %s has no method %q", o.Class, s.Name)
+			}
+			v, err := m.Fn(db, o)
+			if err != nil {
+				return Nil(), err
+			}
+			cur = v
+			continue
+		}
+		// Dereference before attribute access.
+		if cur.Kind == VOid {
+			o := db.Objects[cur.S]
+			if o == nil {
+				return Nil(), fmt.Errorf("oql: dangling reference %s", cur.S)
+			}
+			cur = o.Value
+		}
+		if cur.Kind != VTuple {
+			return Nil(), fmt.Errorf("oql: attribute %q on non-tuple %s", s.Name, cur)
+		}
+		v, ok := cur.Fields[s.Name]
+		if !ok {
+			return Nil(), fmt.Errorf("oql: unknown attribute %q", s.Name)
+		}
+		cur = v
+	}
+	return cur, nil
+}

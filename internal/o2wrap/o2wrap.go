@@ -1,0 +1,311 @@
+// Package o2wrap implements the generic O₂ wrapper of the paper
+// (`o2-wrapper` in Figure 2): it exports an O₂ database's structural
+// information as YAT patterns (Figure 3), its query capabilities as a
+// capability interface (Figure 6), ships extents as XML trees, and — the
+// heart of Section 4.1 — translates pushed algebraic subplans into OQL
+// queries executed natively by the database.
+package o2wrap
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/data"
+	"repro/internal/o2"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+)
+
+// Wrapper wraps one O₂ database.
+type Wrapper struct {
+	DB        *o2.DB
+	SourceNme string
+	// LastOQL records the text of the most recently pushed OQL query
+	// (observability: tests and examples print it, as the paper does).
+	LastOQL string
+}
+
+// New returns a wrapper over db, named after the source (e.g. "o2artifact").
+func New(name string, db *o2.DB) *Wrapper {
+	return &Wrapper{DB: db, SourceNme: name}
+}
+
+// Name implements algebra.Source.
+func (w *Wrapper) Name() string { return w.SourceNme }
+
+// Documents implements algebra.Source: one document per extent.
+func (w *Wrapper) Documents() []string {
+	var out []string
+	for _, cn := range w.DB.Schema.Order {
+		out = append(out, w.DB.Schema.Classes[cn].Extent)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Structural export (Figure 3)
+// ---------------------------------------------------------------------------
+
+// ExportModel returns the ODMG metamodel the schema conforms to.
+func (w *Wrapper) ExportModel() *pattern.Model { return pattern.ODMGModel() }
+
+// ExportSchema converts the O₂ schema into a YAT pattern model: each class
+// becomes `Class := class[ classname: <type> ]`, with collections, tuples
+// and references mapped onto the corresponding YAT patterns.
+func (w *Wrapper) ExportSchema() *pattern.Model {
+	m := pattern.NewModel(w.SourceNme)
+	for _, cn := range w.DB.Schema.Order {
+		c := w.DB.Schema.Classes[cn]
+		body := typePattern(c.Type)
+		m.Define(cn, pattern.Node("class", pattern.Node(strings.ToLower(cn), body)))
+	}
+	return m
+}
+
+func typePattern(t *o2.Type) *pattern.P {
+	switch t.Kind {
+	case o2.TInt:
+		return pattern.Int()
+	case o2.TFloat:
+		return pattern.Float()
+	case o2.TBool:
+		return pattern.Bool()
+	case o2.TStr:
+		return pattern.Str()
+	case o2.TTuple:
+		kids := make([]*pattern.P, len(t.Fields))
+		for i, f := range t.Fields {
+			kids[i] = pattern.Node(f.Name, typePattern(f.Type))
+		}
+		return pattern.Node("tuple", kids...)
+	case o2.TColl:
+		col := pattern.ColFromString(t.Col.String())
+		return pattern.Coll(col, typePattern(t.Elem))
+	case o2.TClass:
+		return pattern.Ref(t.Class)
+	default:
+		return pattern.Any()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Data export (Figure 1 / Figure 3 data level)
+// ---------------------------------------------------------------------------
+
+// ExportObject converts an object to its YAT tree:
+// class[ classname[ <value> ] ] carrying the oid as identifier; references
+// stay references.
+func (w *Wrapper) ExportObject(o *o2.Object) *data.Node {
+	return data.Elem("class",
+		data.Elem(strings.ToLower(o.Class), w.ExportVal(o.Value)),
+	).WithID(o.OID)
+}
+
+// ExportVal converts a value to its YAT tree.
+func (w *Wrapper) ExportVal(v o2.Val) *data.Node {
+	switch v.Kind {
+	case o2.VInt:
+		return &data.Node{Atom: &data.Atom{Kind: data.KindInt, I: v.I}}
+	case o2.VFloat:
+		return &data.Node{Atom: &data.Atom{Kind: data.KindFloat, F: v.F}}
+	case o2.VBool:
+		return &data.Node{Atom: &data.Atom{Kind: data.KindBool, B: v.B}}
+	case o2.VStr:
+		return &data.Node{Atom: &data.Atom{Kind: data.KindString, S: v.S}}
+	case o2.VOid:
+		return data.RefNode("ref", v.S)
+	case o2.VTuple:
+		n := data.Elem("tuple")
+		for _, name := range v.Names {
+			fv := w.ExportVal(v.Fields[name])
+			field := data.Elem(name)
+			if fv.Label == "" && fv.Atom != nil {
+				field.Atom = fv.Atom
+			} else {
+				field.Add(fv)
+			}
+			n.Add(field)
+		}
+		return n
+	case o2.VColl:
+		n := data.Elem(v.Col.String())
+		for _, e := range v.Elems {
+			ev := w.ExportVal(e)
+			if ev.Label == "" && ev.Atom != nil {
+				ev.Label = "item"
+			}
+			n.Add(ev)
+		}
+		return n
+	default:
+		return data.Elem("nil")
+	}
+}
+
+// Fetch implements algebra.Source: it ships a whole extent as a set tree,
+// followed by the transitive closure of referenced objects (so that the
+// mediator can resolve references while navigating).
+func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
+	cls := w.DB.Schema.ClassByExtent(doc)
+	if cls == nil {
+		return nil, fmt.Errorf("o2wrap: unknown extent %q", doc)
+	}
+	set := data.Elem("set")
+	shipped := map[string]bool{}
+	var queue []string
+	for _, oid := range w.DB.Extents[doc] {
+		set.Add(w.ExportObject(w.DB.Get(oid)))
+		shipped[oid] = true
+		queue = append(queue, oid)
+	}
+	forest := data.Forest{set}
+	// Referenced closure.
+	for len(queue) > 0 {
+		oid := queue[0]
+		queue = queue[1:]
+		collectRefs(w.DB.Get(oid).Value, func(ref string) {
+			if !shipped[ref] {
+				shipped[ref] = true
+				forest = append(forest, w.ExportObject(w.DB.Get(ref)))
+				queue = append(queue, ref)
+			}
+		})
+	}
+	return forest, nil
+}
+
+func collectRefs(v o2.Val, fn func(string)) {
+	switch v.Kind {
+	case o2.VOid:
+		fn(v.S)
+	case o2.VTuple:
+		for _, n := range v.Names {
+			collectRefs(v.Fields[n], fn)
+		}
+	case o2.VColl:
+		for _, e := range v.Elems {
+			collectRefs(e, fn)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Capability export (Figure 6)
+// ---------------------------------------------------------------------------
+
+// ExportInterface builds the operational interface of Figure 6: the O₂
+// Fpatterns (Fclass, Ftype, Fextent), a bind capability per extent, the
+// algebraic operations OQL evaluates, the boolean predicates, and one
+// method declaration per schema method.
+func (w *Wrapper) ExportInterface() *capability.Interface {
+	i := capability.NewInterface(w.SourceNme)
+	fm := capability.NewFModel("o2fmodel")
+	fm.Define("Fclass", &capability.FT{
+		Kind: pattern.KNode, Label: "class", Bind: capability.BindTree,
+		Items: []capability.FTItem{{F: &capability.FT{
+			Kind: pattern.KNode, AnyLabel: true,
+			Bind: capability.BindNone, Inst: capability.InstGround,
+			Items: []capability.FTItem{{F: &capability.FT{Kind: pattern.KRef, Name: "Ftype"}}},
+		}}},
+	})
+	ftype := &capability.FT{Kind: pattern.KUnion}
+	ftype.Alts = append(ftype.Alts,
+		&capability.FT{Kind: pattern.KInt},
+		&capability.FT{Kind: pattern.KBool},
+		&capability.FT{Kind: pattern.KFloat},
+		&capability.FT{Kind: pattern.KString},
+		&capability.FT{
+			Kind: pattern.KNode, Label: "tuple", Bind: capability.BindTree,
+			Items: []capability.FTItem{{Star: true, Inst: capability.InstGround,
+				F: &capability.FT{
+					Kind: pattern.KNode, AnyLabel: true, Bind: capability.BindNone,
+					Items: []capability.FTItem{{F: &capability.FT{Kind: pattern.KRef, Name: "Ftype"}}},
+				}}},
+		})
+	for _, col := range []pattern.Col{pattern.ColSet, pattern.ColBag, pattern.ColList, pattern.ColArray} {
+		ftype.Alts = append(ftype.Alts, &capability.FT{
+			Kind: pattern.KNode, Label: col.String(), Col: col, Bind: capability.BindTree,
+			Items: []capability.FTItem{{Star: true, Inst: capability.InstNone,
+				F: &capability.FT{Kind: pattern.KRef, Name: "Ftype"}}},
+		})
+	}
+	ftype.Alts = append(ftype.Alts, &capability.FT{Kind: pattern.KRef, Name: "Fclass"})
+	fm.Define("Ftype", ftype)
+	fm.Define("Fextent", &capability.FT{
+		Kind: pattern.KNode, Label: "set", Col: pattern.ColSet, Bind: capability.BindTree,
+		Items: []capability.FTItem{{Star: true, Inst: capability.InstNone,
+			F: &capability.FT{Kind: pattern.KRef, Name: "Fclass"}}},
+	})
+	i.FModels = append(i.FModels, fm)
+	for _, doc := range w.Documents() {
+		i.Binds[doc] = capability.BindCap{FModel: "o2fmodel", FPattern: "Fextent"}
+	}
+	i.Operations = append(i.Operations,
+		capability.Operation{Name: "bind", Kind: "algebra",
+			Inputs: []capability.Sig{
+				{Model: "o2model", Pattern: "Type"},
+				{Model: "o2fmodel", Pattern: "Ftype", IsFilter: true},
+			},
+			Output: &capability.Sig{Model: "yat", Pattern: "Tab"}},
+		capability.Operation{Name: "select", Kind: "algebra"},
+		capability.Operation{Name: "project", Kind: "algebra"},
+		capability.Operation{Name: "join", Kind: "algebra"},
+		capability.Operation{Name: "djoin", Kind: "algebra"},
+		capability.Operation{Name: "map", Kind: "algebra"},
+		capability.Operation{Name: "eq", Kind: "boolean"},
+		capability.Operation{Name: "neq", Kind: "boolean"},
+		capability.Operation{Name: "lt", Kind: "boolean"},
+		capability.Operation{Name: "leq", Kind: "boolean"},
+		capability.Operation{Name: "gt", Kind: "boolean"},
+		capability.Operation{Name: "geq", Kind: "boolean"},
+	)
+	for _, cn := range w.DB.Schema.Order {
+		c := w.DB.Schema.Classes[cn]
+		for mn, m := range c.Methods {
+			leaf := "String"
+			switch m.Output.Kind {
+			case o2.TInt:
+				leaf = "Int"
+			case o2.TFloat:
+				leaf = "Float"
+			case o2.TBool:
+				leaf = "Bool"
+			}
+			i.Operations = append(i.Operations, capability.Operation{
+				Name: mn, Kind: "method",
+				Inputs: []capability.Sig{{Model: w.SourceNme, Pattern: cn}},
+				Output: &capability.Sig{Leaf: leaf},
+			})
+		}
+	}
+	return i
+}
+
+// Funcs exports the schema's methods as mediator-callable functions: when a
+// method predicate cannot be pushed, the mediator evaluates it by calling
+// back into the source with the object's identifier.
+func (w *Wrapper) Funcs() map[string]algebra.Func {
+	out := map[string]algebra.Func{}
+	for _, cn := range w.DB.Schema.Order {
+		for mn, m := range w.DB.Schema.Classes[cn].Methods {
+			method := m
+			out[mn] = func(args []tab.Cell) (tab.Cell, error) {
+				if len(args) != 1 || args[0].Kind != tab.CTree || args[0].Tree.ID == "" {
+					return tab.Null(), fmt.Errorf("o2wrap: method %s expects an identified object", method.Name)
+				}
+				obj := w.DB.Get(args[0].Tree.ID)
+				if obj == nil {
+					return tab.Null(), fmt.Errorf("o2wrap: unknown object %s", args[0].Tree.ID)
+				}
+				v, err := method.Fn(w.DB, obj)
+				if err != nil {
+					return tab.Null(), err
+				}
+				return w.valToCell(varBinding{kind: kAtom}, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/pattern"
+)
+
+// Containment is a declared assumption letting the optimizer prune a join
+// branch (Figure 8's "because all artifacts are available in the XML
+// source"): joining Keep with the Drop branch loses no Keep rows, so when
+// no column of Drop is needed the Drop branch can be eliminated. Modulo
+// lists the selection conjuncts (in their printed form) that the assumption
+// absorbs — for the cultural view, "$y > 1800", because every catalogued
+// work corresponds to a post-1800 artifact. A branch carrying any other
+// selection (e.g. a predicate pushed down from the user query) is never
+// pruned: the assumption says nothing about it.
+type Containment struct {
+	Drop   string   // document whose branch may be eliminated
+	Keep   string   // document whose rows are preserved by the join
+	Modulo []string // selection conjuncts the assumption absorbs
+}
+
+// Structure names the structural pattern governing a document's data, used
+// by type-driven rewritings (Figure 7, lower middle/right).
+type Structure struct {
+	Model   *pattern.Model
+	Pattern string
+}
+
+// Options configure the optimizer. Zero-value options yield a conservative
+// optimizer that only performs composition simplification and pushdown of
+// selections/projections.
+type Options struct {
+	// Interfaces maps source names to their capability interfaces.
+	Interfaces map[string]*capability.Interface
+	// SourceDocs maps document names to the source exporting them.
+	SourceDocs map[string]string
+	// Structures maps document names to their structural types.
+	Structures map[string]Structure
+	// Assume lists containment assumptions enabling source pruning.
+	Assume []Containment
+	// InfoPassing enables round 3 (Join → DJoin with parameter passing).
+	InfoPassing bool
+	// Ablation switches (used by the EXPERIMENTS.md benchmarks).
+	DisableComposition bool // skip Bind–Tree elimination
+	DisablePushdown    bool // skip capability-based pushdown (round 2)
+	DisableTypeRules   bool // skip type-driven filter simplification
+	// Trace receives one line per applied rewriting when non-nil.
+	Trace func(string)
+}
+
+// Optimizer rewrites algebraic plans.
+type Optimizer struct {
+	opts  Options
+	fresh *freshVars
+}
+
+// New returns an optimizer over the given options.
+func New(opts Options) *Optimizer { return &Optimizer{opts: opts} }
+
+func (o *Optimizer) trace(format string, args ...any) {
+	if o.opts.Trace != nil {
+		o.opts.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// Optimize runs the three rewriting rounds of Section 6 and returns the
+// rewritten plan. The input plan is not mutated.
+func (o *Optimizer) Optimize(plan algebra.Op) algebra.Op {
+	o.fresh = newFreshVars(plan)
+	out := o.round1(plan)
+	if !o.opts.DisablePushdown {
+		out = o.round2(out)
+	}
+	if o.opts.InfoPassing {
+		out = o.round3(out)
+	}
+	return out
+}
+
+// round1 simplifies compositions: Bind–Tree elimination, selection
+// pushdown, projection pruning with source elimination, type-driven filter
+// simplification and label-variable expansion, iterated to a fixpoint.
+func (o *Optimizer) round1(plan algebra.Op) algebra.Op {
+	prev := ""
+	for iter := 0; iter < 6; iter++ {
+		if !o.opts.DisableComposition {
+			plan = o.eliminateCompositions(plan)
+		}
+		plan = pushSelections(plan)
+		plan = o.pruneColumns(plan, colSet(plan.Columns()))
+		if !o.opts.DisableTypeRules {
+			plan = o.expandLabelVars(plan)
+		}
+		plan = pushSelections(plan)
+		plan = simplifyProjects(plan)
+		cur := algebra.Describe(plan)
+		if cur == prev {
+			break
+		}
+		prev = cur
+		o.trace("round1 iteration %d:\n%s", iter+1, cur)
+	}
+	return plan
+}
+
+// eliminateCompositions applies the Bind–Tree equivalence wherever a Bind
+// reads the output column of a Tree operator (view composition, Figure 8).
+func (o *Optimizer) eliminateCompositions(op algebra.Op) algebra.Op {
+	op = rebuildChildren(op, o.eliminateCompositions)
+	b, ok := op.(*algebra.Bind)
+	if !ok || b.From == nil {
+		return op
+	}
+	t, ok := b.From.(*algebra.TreeOp)
+	if !ok {
+		return op
+	}
+	if out, ok := EliminateBindTree(b, t); ok {
+		o.trace("eliminated Bind–Tree composition over %s", t.Detail())
+		return out
+	}
+	return op
+}
+
+// simplifyProjects removes identity projections and collapses stacked ones.
+func simplifyProjects(op algebra.Op) algebra.Op {
+	op = rebuildChildren(op, simplifyProjects)
+	p, ok := op.(*algebra.Project)
+	if !ok {
+		return op
+	}
+	if inner, ok := p.From.(*algebra.Project); ok {
+		// compose the rename maps
+		innerSrc := map[string]string{}
+		for _, c := range inner.Cols {
+			name, src := c, c
+			if i := indexEq(c); i >= 0 {
+				name, src = c[:i], c[i+1:]
+			}
+			innerSrc[name] = src
+		}
+		cols := make([]string, len(p.Cols))
+		for i, c := range p.Cols {
+			name, src := c, c
+			if j := indexEq(c); j >= 0 {
+				name, src = c[:j], c[j+1:]
+			}
+			if deep, ok := innerSrc[src]; ok {
+				src = deep
+			}
+			if name == src {
+				cols[i] = name
+			} else {
+				cols[i] = name + "=" + src
+			}
+		}
+		return simplifyProjects(&algebra.Project{From: inner.From, Cols: cols})
+	}
+	from := p.From.Columns()
+	if len(from) == len(p.Cols) {
+		identity := true
+		for i, c := range p.Cols {
+			if c != from[i] {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			return p.From
+		}
+	}
+	return op
+}

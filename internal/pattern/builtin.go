@@ -1,0 +1,57 @@
+package pattern
+
+// Builtin models reproducing Figure 3 of the paper: the YAT (meta)model that
+// captures all patterns, and the ODMG model to which O₂ schemas conform.
+// One important property verified in the tests is the instantiation chain
+// Artifact <: ODMG <: YAT.
+
+// YATModel returns the almighty YAT metamodel: a tree is any node whose
+// label is arbitrary (Symbol) and whose children are zero or more trees, or
+// an atomic value, or a reference to a tree.
+func YATModel() *Model {
+	m := NewModel("yat")
+	// Tree := ( Int | Float | Bool | String | Symbol[ *&Tree ] | &Tree )
+	tree := Union(
+		Int(), Float(), Bool(), Str(),
+		&P{Kind: KNode, AnyLabel: true, Items: []Item{{P: Ref("Tree"), Star: true}}},
+	)
+	m.Define("Tree", tree)
+	// Tab is the ¬1NF relation produced by Bind: a table of rows of
+	// arbitrary trees (declared here so interfaces can name it).
+	m.Define("Tab", Node("tab",
+		&P{Kind: KNode, Label: "row", Items: []Item{{P: Ref("Tree"), Star: true}}}))
+	return m
+}
+
+// ODMGModel returns the ODMG data model of Figure 3 (left): a type is an
+// atomic type, a tuple of named fields, a collection, or a reference to a
+// class; a class associates a name with a type.
+func ODMGModel() *Model {
+	m := NewModel("odmg")
+	m.Define("Class", MustParse(`class[ Symbol: &Type ]`))
+	m.Define("Type", MustParse(`( Int | Bool | Float | String
+		| tuple[ *Symbol: &Type ]
+		| set[ *&Type ] | bag[ *&Type ] | list[ *&Type ] | array[ *&Type ]
+		| &Class )`))
+	return m
+}
+
+// InstanceOfModel reports whether every root pattern of schema instantiates
+// some root pattern of model; it realizes the schema <: model judgement of
+// Figure 3 (e.g. Artifacts schema <: ODMG, Artworks structure <: YAT).
+func InstanceOfModel(model, schema *Model) bool {
+	for _, name := range schema.Names() {
+		q := schema.Defs[name]
+		ok := false
+		for _, pname := range model.Names() {
+			if Subsumes(model, model.Defs[pname], schema, q) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return len(schema.Names()) > 0
+}

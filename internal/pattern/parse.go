@@ -1,0 +1,330 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// The textual pattern syntax, used throughout tests and by the mediator
+// console. It mirrors the graphical notation of Figure 3:
+//
+//	Artifact := class[ tuple[ title: String, year: Int, creator: String,
+//	                          price: Float, owners: list[ *&Person ] ] ]
+//	Type     := ( Int | Bool | Float | String | tuple[ *Symbol: &Type ]
+//	            | set[ *&Type ] | &Class )
+//
+// `*` marks multiple occurrence, `&Name` references a named pattern,
+// `( a | b )` is an alternative, `Symbol` is the any-label wildcard, and
+// `label: p` abbreviates `label[ p ]`. The labels set/bag/list/array carry
+// their collection kind.
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tName
+	tString
+	tNumber
+	tPunct // one of []():,*&|=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.IndexByte("[]():,*&|=", c) >= 0:
+			// ":=" is two tokens (':' '='); callers handle it.
+			l.toks = append(l.toks, token{tPunct, string(c), l.pos})
+			l.pos++
+		case c == '"':
+			start := l.pos
+			l.pos++
+			var b strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("pattern: unterminated string at offset %d", start)
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tString, b.String(), start})
+		case c >= '0' && c <= '9' || c == '-':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tNumber, l.src[start:l.pos], start})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tName, l.src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("pattern: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '@' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c == '\'' || c == '-' || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(text string) error {
+	t := p.cur()
+	if t.kind == tPunct && t.text == text {
+		p.i++
+		return nil
+	}
+	return fmt.Errorf("pattern: expected %q at offset %d, got %q", text, t.pos, t.text)
+}
+
+func (p *parser) isPunct(text string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == text
+}
+
+// ParsePattern parses a single pattern in the textual syntax.
+func ParsePattern(src string) (*P, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pat, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("pattern: trailing input at offset %d", p.cur().pos)
+	}
+	return pat, nil
+}
+
+// MustParse is ParsePattern panicking on error; for fixtures and tests.
+func MustParse(src string) *P {
+	p, err := ParsePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseModel parses a model definition:
+//
+//	model name
+//	Name := pattern
+//	...
+func ParseModel(src string) (*Model, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t := p.next()
+	if t.kind != tName || t.text != "model" {
+		return nil, fmt.Errorf("pattern: expected 'model' at offset %d", t.pos)
+	}
+	nameTok := p.next()
+	if nameTok.kind != tName {
+		return nil, fmt.Errorf("pattern: expected model name at offset %d", nameTok.pos)
+	}
+	m := NewModel(nameTok.text)
+	for p.cur().kind != tEOF {
+		def := p.next()
+		if def.kind != tName {
+			return nil, fmt.Errorf("pattern: expected definition name at offset %d", def.pos)
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		m.Define(def.text, pat)
+	}
+	return m, nil
+}
+
+// MustParseModel is ParseModel panicking on error.
+func MustParseModel(src string) *Model {
+	m, err := ParseModel(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *parser) pattern() (*P, error) {
+	t := p.cur()
+	switch t.kind {
+	case tString:
+		p.i++
+		return Const(data.String(t.text)), nil
+	case tNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: bad number %q at offset %d", t.text, t.pos)
+			}
+			return Const(data.Float(f)), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: bad number %q at offset %d", t.text, t.pos)
+		}
+		return Const(data.Int(v)), nil
+	case tPunct:
+		switch t.text {
+		case "&":
+			p.i++
+			n := p.next()
+			if n.kind != tName {
+				return nil, fmt.Errorf("pattern: expected name after '&' at offset %d", n.pos)
+			}
+			return Ref(n.text), nil
+		case "(":
+			p.i++
+			var alts []*P
+			for {
+				a, err := p.pattern()
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, a)
+				if p.isPunct("|") {
+					p.i++
+					continue
+				}
+				break
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if len(alts) == 1 {
+				return alts[0], nil
+			}
+			return Union(alts...), nil
+		}
+		return nil, fmt.Errorf("pattern: unexpected %q at offset %d", t.text, t.pos)
+	case tName:
+		p.i++
+		switch t.text {
+		case "Int":
+			return Int(), nil
+		case "Float":
+			return Float(), nil
+		case "Bool":
+			return Bool(), nil
+		case "String":
+			return Str(), nil
+		case "Any":
+			return Any(), nil
+		case "true":
+			return Const(data.Bool(true)), nil
+		case "false":
+			return Const(data.Bool(false)), nil
+		}
+		node := &P{Kind: KNode, Label: t.text}
+		if t.text == "Symbol" {
+			node.Label, node.AnyLabel = "", true
+		}
+		node.Col = ColFromString(t.text)
+		switch {
+		case p.isPunct("["):
+			p.i++
+			items, err := p.items()
+			if err != nil {
+				return nil, err
+			}
+			node.Items = items
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		case p.isPunct(":"):
+			// Guard against consuming a following ":=" definition head.
+			if p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "=" {
+				break
+			}
+			p.i++
+			kid, err := p.pattern()
+			if err != nil {
+				return nil, err
+			}
+			node.Items = []Item{{P: kid}}
+		}
+		return node, nil
+	default:
+		return nil, fmt.Errorf("pattern: unexpected end of input")
+	}
+}
+
+func (p *parser) items() ([]Item, error) {
+	var items []Item
+	if p.isPunct("]") {
+		return items, nil
+	}
+	for {
+		star := false
+		if p.isPunct("*") {
+			p.i++
+			star = true
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, Item{P: pat, Star: star})
+		if p.isPunct(",") {
+			p.i++
+			continue
+		}
+		return items, nil
+	}
+}

@@ -1,0 +1,201 @@
+package tab
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/data"
+	"repro/internal/xmlenc"
+)
+
+// XML serialization of Tab structures, used by the wire protocol when a
+// wrapper ships the result of a pushed query back to the mediator. The
+// format is self-describing:
+//
+//	<tab cols="$t $a">
+//	  <row>
+//	    <atom type="String">Nympheas</atom>
+//	    <tree><work>...</work></tree>
+//	  </row>
+//	</tab>
+//
+// Cell elements are <null/>, <atom type=...>, <tree>, <seq> or a nested
+// <tab>.
+
+// ToXML converts the Tab to its XML tree.
+func ToXML(t *Tab) *data.Node {
+	root := data.Elem("tab")
+	cols := ""
+	for i, c := range t.Cols {
+		if i > 0 {
+			cols += " "
+		}
+		cols += c
+	}
+	root.Add(data.Text("@cols", cols))
+	for _, r := range t.Rows {
+		row := data.Elem("row")
+		for _, c := range r {
+			row.Add(cellToXML(c))
+		}
+		root.Add(row)
+	}
+	return root
+}
+
+func cellToXML(c Cell) *data.Node {
+	switch c.Kind {
+	case CNull:
+		return data.Elem("null")
+	case CAtom:
+		n := data.Leaf("atom", c.Atom)
+		n.Kids = append(n.Kids, data.Text("@type", c.Atom.Kind.String()))
+		return n
+	case CTree:
+		return data.Elem("tree", c.Tree)
+	case CSeq:
+		s := data.Elem("seq")
+		s.Kids = append(s.Kids, c.Seq...)
+		return s
+	case CTab:
+		return ToXML(c.Tab)
+	default:
+		return data.Elem("null")
+	}
+}
+
+// FromXML parses a Tab from its XML tree.
+func FromXML(n *data.Node) (*Tab, error) {
+	if n == nil || n.Label != "tab" {
+		return nil, fmt.Errorf("tab: expected <tab> element, got %v", n)
+	}
+	var cols []string
+	if c := n.Child("@cols"); c != nil && c.Atom != nil && c.Atom.S != "" {
+		cols = splitFields(c.Atom.S)
+	}
+	t := New(cols...)
+	for _, k := range n.Kids {
+		if k.Label != "row" {
+			continue
+		}
+		row := make(Row, 0, len(cols))
+		for _, cn := range k.Kids {
+			if len(cn.Label) > 0 && cn.Label[0] == '@' {
+				continue
+			}
+			c, err := cellFromXML(cn)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, c)
+		}
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("tab: row with %d cells for %d columns", len(row), len(cols))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func cellFromXML(n *data.Node) (Cell, error) {
+	switch n.Label {
+	case "null":
+		return Null(), nil
+	case "atom":
+		typ := ""
+		if c := n.Child("@type"); c != nil && c.Atom != nil {
+			typ = c.Atom.S
+		}
+		text := ""
+		if n.Atom != nil {
+			text = n.Atom.Text()
+		} else {
+			// The parser keeps the text as an unlabeled child when the
+			// element also carries attributes.
+			for _, k := range n.Kids {
+				if k.Label == "" && k.Atom != nil {
+					text = k.Atom.Text()
+					break
+				}
+			}
+		}
+		switch typ {
+		case "Int":
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return Null(), fmt.Errorf("tab: bad Int atom %q", text)
+			}
+			return AtomCell(data.Int(v)), nil
+		case "Float":
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Null(), fmt.Errorf("tab: bad Float atom %q", text)
+			}
+			return AtomCell(data.Float(v)), nil
+		case "Bool":
+			return AtomCell(data.Bool(text == "true")), nil
+		case "String":
+			return AtomCell(data.String(text)), nil
+		default:
+			return Null(), fmt.Errorf("tab: unknown atom type %q", typ)
+		}
+	case "tree":
+		var body *data.Node
+		for _, k := range n.Kids {
+			if len(k.Label) > 0 && k.Label[0] == '@' {
+				continue
+			}
+			body = k
+			break
+		}
+		if body == nil {
+			return Null(), fmt.Errorf("tab: empty <tree> cell")
+		}
+		return TreeCell(body), nil
+	case "seq":
+		var f data.Forest
+		for _, k := range n.Kids {
+			if len(k.Label) > 0 && k.Label[0] == '@' {
+				continue
+			}
+			f = append(f, k)
+		}
+		return SeqCell(f), nil
+	case "tab":
+		nested, err := FromXML(n)
+		if err != nil {
+			return Null(), err
+		}
+		return TabCell(nested), nil
+	default:
+		return Null(), fmt.Errorf("tab: unknown cell element <%s>", n.Label)
+	}
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// Marshal renders the Tab as an XML string.
+func Marshal(t *Tab) string { return xmlenc.Serialize(ToXML(t)) }
+
+// Unmarshal parses a Tab from an XML string.
+func Unmarshal(src string) (*Tab, error) {
+	n, err := xmlenc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromXML(n)
+}

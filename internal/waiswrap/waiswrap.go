@@ -1,0 +1,264 @@
+// Package waiswrap implements the generic XML-Wais wrapper of the paper
+// (`xmlwais-wrapper` in Figure 2): it exports the Artworks structure
+// (Figure 3), the restrictive capability interface of Section 4.2 — only
+// whole documents can be bound, the only pushable predicate is the
+// full-text contains — and the declared equivalence connecting contains
+// with the algebra's equality predicate.
+package waiswrap
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/data"
+	"repro/internal/filter"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+	"repro/internal/wais"
+)
+
+// Wrapper wraps one Wais engine.
+type Wrapper struct {
+	E         *wais.Engine
+	SourceNme string
+	// LastSearch records the text of the most recent pushed full-text
+	// search (observability for tests and examples).
+	LastSearch string
+}
+
+// New returns a wrapper over the engine.
+func New(name string, e *wais.Engine) *Wrapper {
+	return &Wrapper{E: e, SourceNme: name}
+}
+
+// Name implements algebra.Source.
+func (w *Wrapper) Name() string { return w.SourceNme }
+
+// Documents implements algebra.Source: the single works document.
+func (w *Wrapper) Documents() []string { return []string{"works"} }
+
+// Fetch implements algebra.Source: it ships the entire indexed collection
+// (in its retrievable view) under a works root — the costly path the
+// optimizer tries to avoid.
+func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
+	if doc != "works" {
+		return nil, fmt.Errorf("waiswrap: unknown document %q", doc)
+	}
+	root := data.Elem("works")
+	for i := 0; i < w.E.Size(); i++ {
+		root.Add(w.E.Retrieve(i))
+	}
+	return data.Forest{root}, nil
+}
+
+// ExportStructure returns the Artworks structure of Figure 3: works with
+// mandatory artist/title/style/size elements followed by arbitrary
+// additional fields.
+func (w *Wrapper) ExportStructure() *pattern.Model {
+	return pattern.MustParseModel(`model Artworks_Structure
+Works := works[ *&Work ]
+Work  := work[ artist: String, title: String, style: String, size: String,
+               *&Field ]
+Field := Symbol[ *( Int | Float | Bool | String | &Field ) ]`)
+}
+
+// ExportInterface builds the Section 4.2 interface: the Fworks pattern
+// (bind whole documents only), bind/select operations, the contains
+// external predicate and the contains/equality equivalence.
+func (w *Wrapper) ExportInterface() *capability.Interface {
+	i := capability.NewInterface(w.SourceNme)
+	fm := capability.NewFModel("waisfmodel")
+	fm.Define("Fworks", &capability.FT{
+		Kind: pattern.KNode, Label: "works",
+		Bind: capability.BindNone, Inst: capability.InstGround,
+		Items: []capability.FTItem{{Star: true, Inst: capability.InstNone,
+			F: &capability.FT{Kind: pattern.KRef, Name: "work", Bind: capability.BindTree}}},
+	})
+	i.FModels = append(i.FModels, fm)
+	i.Binds["works"] = capability.BindCap{FModel: "waisfmodel", FPattern: "Fworks"}
+	i.Operations = append(i.Operations,
+		capability.Operation{Name: "bind", Kind: "algebra",
+			Inputs: []capability.Sig{
+				{Model: "Artworks_Structure", Pattern: "Works"},
+				{Model: "waisfmodel", Pattern: "Fworks", IsFilter: true},
+			},
+			Output: &capability.Sig{Model: "yat", Pattern: "Tab"}},
+		capability.Operation{Name: "select", Kind: "algebra"},
+		capability.Operation{Name: "contains", Kind: "external",
+			Inputs: []capability.Sig{
+				{Model: "Artworks_Structure", Pattern: "Work"},
+				{Leaf: "String"},
+			},
+			Output: &capability.Sig{Leaf: "Bool"}},
+	)
+	i.Equivalences = append(i.Equivalences, capability.Equivalence{
+		Name: "contains-eq", From: "eq", To: "contains", Scope: "work",
+	})
+	return i
+}
+
+// Contains is the external predicate's local semantics: the tree's text
+// contains every word of the argument. The mediator registers it so that
+// contains can also be evaluated mediator-side when it cannot be pushed.
+func Contains(args []tab.Cell) (tab.Cell, error) {
+	if len(args) != 2 {
+		return tab.Null(), fmt.Errorf("contains expects (tree, string)")
+	}
+	text, ok := args[1].AsAtom()
+	if !ok || text.Kind != data.KindString {
+		return tab.Null(), fmt.Errorf("contains expects a string argument")
+	}
+	var hay strings.Builder
+	for _, n := range args[0].AsForest() {
+		hay.WriteString(n.TextContent())
+		hay.WriteByte(' ')
+	}
+	tokens := wais.Tokenize(hay.String())
+	set := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		set[t] = true
+	}
+	for _, t := range wais.Tokenize(text.S) {
+		if !set[t] {
+			return tab.AtomCell(data.Bool(false)), nil
+		}
+	}
+	return tab.AtomCell(data.Bool(true)), nil
+}
+
+// Push implements algebra.Source. The only supported shapes — exactly the
+// declared capabilities — are Project*/Select* over Bind(works) with the
+// Fworks filter; selections may only carry contains predicates over the
+// bound document variable (possibly with parameters inlined from a DJoin).
+func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	var docVar string
+	var searches []string
+	var walk func(op algebra.Op) error
+	walk = func(op algebra.Op) error {
+		switch x := op.(type) {
+		case *algebra.Project:
+			return walk(x.From)
+		case *algebra.Select:
+			if err := walk(x.From); err != nil {
+				return err
+			}
+			for _, conj := range algebra.SplitConj(x.Pred) {
+				call, ok := conj.(algebra.Call)
+				if !ok || call.Name != "contains" || len(call.Args) != 2 {
+					return fmt.Errorf("waiswrap: only contains predicates can be pushed, got %s", conj)
+				}
+				v, ok := call.Args[0].(algebra.Var)
+				if !ok || v.Name != docVar {
+					return fmt.Errorf("waiswrap: contains must apply to the bound document variable")
+				}
+				text, err := stringArg(call.Args[1], params)
+				if err != nil {
+					return err
+				}
+				searches = append(searches, text)
+			}
+			return nil
+		case *algebra.Bind:
+			if x.Doc != "works" {
+				return fmt.Errorf("waiswrap: only binds over works can be pushed")
+			}
+			v, err := docVarOf(x.F.Root)
+			if err != nil {
+				return err
+			}
+			docVar = v
+			return nil
+		default:
+			return fmt.Errorf("waiswrap: operator %T cannot be pushed", op)
+		}
+	}
+	if err := walk(plan); err != nil {
+		return nil, err
+	}
+	// Evaluate: full-text search for each contains, intersected.
+	var ids []int
+	if len(searches) == 0 {
+		ids = make([]int, w.E.Size())
+		for i := range ids {
+			ids[i] = i
+		}
+	} else {
+		ids = w.E.Search(searches[0])
+		for _, s := range searches[1:] {
+			ids = wais.And(ids, w.E.Search(s))
+		}
+		w.LastSearch = strings.Join(searches, " AND ")
+	}
+	outCols := plan.Columns()
+	out := tab.New(outCols...)
+	for _, id := range ids {
+		doc := w.E.Retrieve(id)
+		row := make(tab.Row, len(outCols))
+		for i, c := range outCols {
+			if c == docVar || renamedFrom(plan, c) == docVar {
+				row[i] = tab.TreeCell(doc)
+			} else {
+				return nil, fmt.Errorf("waiswrap: output column %s is not bound", c)
+			}
+		}
+		out.AddRow(row)
+	}
+	return out, nil
+}
+
+// docVarOf checks the Fworks shape works[ *work@$w ] and returns $w.
+func docVarOf(root *filter.FNode) (string, error) {
+	if root.Label != "works" || root.Var != "" || root.LabelVar != "" {
+		return "", fmt.Errorf("waiswrap: filter must match the works root without binding it")
+	}
+	if len(root.Items) != 1 || !root.Items[0].Star {
+		return "", fmt.Errorf("waiswrap: filter must iterate documents (*work@$w)")
+	}
+	it := root.Items[0]
+	if it.CollectVar != "" {
+		return "", fmt.Errorf("waiswrap: collect-star push is not supported")
+	}
+	wn := it.F
+	if wn.Label != "work" || wn.Var == "" || len(wn.Items) > 0 {
+		return "", fmt.Errorf("waiswrap: only whole documents can be bound (work@$w)")
+	}
+	return wn.Var, nil
+}
+
+func stringArg(e algebra.Expr, params map[string]tab.Cell) (string, error) {
+	switch x := e.(type) {
+	case algebra.Const:
+		if x.Atom.Kind != data.KindString {
+			return "", fmt.Errorf("waiswrap: contains expects a string constant")
+		}
+		return x.Atom.S, nil
+	case algebra.Var:
+		if c, ok := params[x.Name]; ok {
+			if a, ok := c.AsAtom(); ok && a.Kind == data.KindString {
+				return a.S, nil
+			}
+		}
+		return "", fmt.Errorf("waiswrap: contains argument %s is not a bound string", x.Name)
+	default:
+		return "", fmt.Errorf("waiswrap: unsupported contains argument %T", e)
+	}
+}
+
+// renamedFrom resolves a projected output column back to its source column
+// through Project renames (new=old).
+func renamedFrom(plan algebra.Op, col string) string {
+	cur := col
+	algebra.Walk(plan, func(op algebra.Op) bool {
+		if p, ok := op.(*algebra.Project); ok {
+			for _, c := range p.Cols {
+				if i := strings.IndexByte(c, '='); i >= 0 && c[:i] == cur {
+					cur = c[i+1:]
+				}
+			}
+		}
+		return true
+	})
+	return cur
+}

@@ -1,0 +1,388 @@
+// Package wire implements the network protocol between wrappers and
+// mediators (Figure 2): wrappers serve their structural metadata,
+// capability interfaces, documents and pushed-query evaluation over TCP;
+// the mediator side exposes a remote wrapper as an algebra.Source. For
+// interoperability, every payload is XML (Section 2: "wrappers and
+// mediators communicate data, structures and operations in XML"), framed
+// by a 4-byte big-endian length prefix.
+//
+// Requests:
+//
+//	<hello/>                                  → <wrapper name=... docs=.../>
+//	<interface-request/>                      → <interface .../>
+//	<structures-request/>                     → <structures><model .../>*</structures>
+//	<fetch doc="works"/>                      → <forest>trees</forest>
+//	<push><plan>...</plan><params>tab</params></push> → <tab .../>
+//
+// Errors travel as <error msg="..."/>.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/data"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+	"repro/internal/xmlenc"
+)
+
+// MaxFrame bounds a single message (16 MiB); larger frames abort the
+// connection rather than exhausting memory.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one length-prefixed XML payload.
+func WriteFrame(w io.Writer, payload string) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed XML payload.
+func ReadFrame(r io.Reader) (string, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return "", fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Exported is everything a wrapper serves: the source itself, its
+// capability interface and its structural models (document name → model and
+// root pattern name).
+type Exported struct {
+	Source     algebra.Source
+	Interface  *capability.Interface
+	Structures map[string]StructureRef
+}
+
+// StructureRef names a document's structural pattern within a model.
+type StructureRef struct {
+	Model   *pattern.Model
+	Pattern string
+}
+
+// Server serves one wrapper over a listener.
+type Server struct {
+	Exp Exported
+	ln  net.Listener
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+// Serve starts serving on the listener and returns immediately; call Close
+// to stop. Each connection handles a sequence of requests.
+func Serve(ln net.Listener, exp Exported) *Server {
+	s := &Server{Exp: exp, ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return s
+}
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() {
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) handle(conn net.Conn) {
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			return // connection closed
+		}
+		resp := s.respond(req)
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errorXML(format string, args ...any) string {
+	n := data.Elem("error")
+	n.Add(data.Text("@msg", fmt.Sprintf(format, args...)))
+	return xmlenc.Serialize(n)
+}
+
+func (s *Server) respond(req string) string {
+	n, err := xmlenc.Parse(req)
+	if err != nil {
+		return errorXML("bad request: %v", err)
+	}
+	switch n.Label {
+	case "hello":
+		resp := data.Elem("wrapper")
+		resp.Add(data.Text("@name", s.Exp.Source.Name()))
+		docs := ""
+		for i, d := range s.Exp.Source.Documents() {
+			if i > 0 {
+				docs += " "
+			}
+			docs += d
+		}
+		resp.Add(data.Text("@docs", docs))
+		return xmlenc.Serialize(resp)
+	case "interface-request":
+		if s.Exp.Interface == nil {
+			return errorXML("no interface exported")
+		}
+		return xmlenc.Serialize(capability.ToXML(s.Exp.Interface))
+	case "structures-request":
+		resp := data.Elem("structures")
+		for doc, ref := range s.Exp.Structures {
+			entry := data.Elem("structure")
+			entry.Add(data.Text("@doc", doc))
+			entry.Add(data.Text("@pattern", ref.Pattern))
+			entry.Add(pattern.ModelToXML(ref.Model))
+			resp.Add(entry)
+		}
+		return xmlenc.Serialize(resp)
+	case "fetch":
+		doc := attr(n, "doc")
+		forest, err := s.Exp.Source.Fetch(doc)
+		if err != nil {
+			return errorXML("fetch %s: %v", doc, err)
+		}
+		resp := data.Elem("forest")
+		resp.Kids = append(resp.Kids, forest...)
+		return xmlenc.Serialize(resp)
+	case "push":
+		planNode := n.Child("plan")
+		if planNode == nil {
+			return errorXML("push without plan")
+		}
+		plan, err := algebra.PlanFromXML(firstElem(planNode))
+		if err != nil {
+			return errorXML("push plan: %v", err)
+		}
+		params := map[string]tab.Cell{}
+		if pn := n.Child("params"); pn != nil {
+			if tn := firstElem(pn); tn != nil {
+				pt, err := tab.FromXML(tn)
+				if err != nil {
+					return errorXML("push params: %v", err)
+				}
+				if pt.Len() > 0 {
+					for i, c := range pt.Cols {
+						params[c] = pt.Rows[0][i]
+					}
+				}
+			}
+		}
+		res, err := s.Exp.Source.Push(plan, params)
+		if err != nil {
+			return errorXML("push: %v", err)
+		}
+		return tab.Marshal(res)
+	default:
+		return errorXML("unknown request <%s>", n.Label)
+	}
+}
+
+func attr(n *data.Node, name string) string {
+	if c := n.Child("@" + name); c != nil && c.Atom != nil {
+		return c.Atom.S
+	}
+	return ""
+}
+
+func firstElem(n *data.Node) *data.Node {
+	for _, k := range n.Kids {
+		if len(k.Label) > 0 && k.Label[0] != '@' {
+			return k
+		}
+	}
+	return nil
+}
+
+// Client is the mediator-side proxy for a remote wrapper; it implements
+// algebra.Source over one TCP connection (requests are serialized).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	name string
+	docs []string
+}
+
+// Dial connects to a wrapper and performs the hello exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	resp, err := c.roundTrip(`<hello/>`)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.name = attr(resp, "name")
+	if d := attr(resp, "docs"); d != "" {
+		c.docs = splitSpace(d)
+	}
+	return c, nil
+}
+
+func splitSpace(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req string) (*data.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	n, err := xmlenc.Parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if n.Label == "error" {
+		return nil, fmt.Errorf("wire: remote error: %s", attr(n, "msg"))
+	}
+	return n, nil
+}
+
+// Name implements algebra.Source.
+func (c *Client) Name() string { return c.name }
+
+// Documents implements algebra.Source.
+func (c *Client) Documents() []string { return append([]string(nil), c.docs...) }
+
+// Fetch implements algebra.Source.
+func (c *Client) Fetch(doc string) (data.Forest, error) {
+	req := data.Elem("fetch")
+	req.Add(data.Text("@doc", doc))
+	resp, err := c.roundTrip(xmlenc.Serialize(req))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Label != "forest" {
+		return nil, fmt.Errorf("wire: unexpected response <%s>", resp.Label)
+	}
+	// XML carries atoms as text; restore numeric/boolean typing so that
+	// mediator-side predicates (e.g. $y > 1800) behave as they do against
+	// an in-process wrapper.
+	out := make(data.Forest, len(resp.Kids))
+	for i, n := range resp.Kids {
+		out[i] = xmlenc.InferAtoms(n)
+	}
+	return out, nil
+}
+
+// Push implements algebra.Source.
+func (c *Client) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	planXML, err := algebra.PlanToXML(plan)
+	if err != nil {
+		return nil, err
+	}
+	req := data.Elem("push", data.Elem("plan", planXML))
+	if len(params) > 0 {
+		cols := make([]string, 0, len(params))
+		for k := range params {
+			cols = append(cols, k)
+		}
+		pt := tab.New(cols...)
+		row := make(tab.Row, len(cols))
+		for i, k := range cols {
+			row[i] = params[k]
+		}
+		pt.AddRow(row)
+		req.Add(data.Elem("params", tab.ToXML(pt)))
+	}
+	resp, err := c.roundTrip(xmlenc.Serialize(req))
+	if err != nil {
+		return nil, err
+	}
+	return tab.FromXML(resp)
+}
+
+// ImportInterface fetches the wrapper's capability interface.
+func (c *Client) ImportInterface() (*capability.Interface, error) {
+	resp, err := c.roundTrip(`<interface-request/>`)
+	if err != nil {
+		return nil, err
+	}
+	return capability.FromXML(resp)
+}
+
+// ImportStructures fetches the wrapper's structural models.
+func (c *Client) ImportStructures() (map[string]StructureRef, error) {
+	resp, err := c.roundTrip(`<structures-request/>`)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]StructureRef{}
+	for _, k := range resp.Kids {
+		if k.Label != "structure" {
+			continue
+		}
+		me := k.Child("model")
+		if me == nil {
+			return nil, fmt.Errorf("wire: structure without model")
+		}
+		m, err := pattern.ModelFromXML(me)
+		if err != nil {
+			return nil, err
+		}
+		out[attr(k, "doc")] = StructureRef{Model: m, Pattern: attr(k, "pattern")}
+	}
+	return out, nil
+}

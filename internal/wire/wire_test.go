@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/datagen"
+	"repro/internal/filter"
+	"repro/internal/mediator"
+	"repro/internal/o2wrap"
+	"repro/internal/waiswrap"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "<hello/>"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || got != "<hello/>" {
+		t.Errorf("frame = %q, %v", got, err)
+	}
+	// oversized frames rejected
+	big := strings.Repeat("x", MaxFrame+1)
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Error("oversized write must fail")
+	}
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&hdr); err == nil {
+		t.Error("oversized read must fail")
+	}
+	// truncated payload
+	var tr bytes.Buffer
+	tr.Write([]byte{0, 0, 0, 5, 'a'})
+	if _, err := ReadFrame(&tr); err == nil {
+		t.Error("truncated frame must fail")
+	}
+}
+
+// serveO2 starts an O₂ wrapper server on an ephemeral port.
+func serveO2(t *testing.T) (*Server, *o2wrap.Wrapper) {
+	t.Helper()
+	ow := o2wrap.New("o2artifact", datagen.PaperDB())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := ow.ExportSchema()
+	srv := Serve(ln, Exported{
+		Source:    ow,
+		Interface: ow.ExportInterface(),
+		Structures: map[string]StructureRef{
+			"artifacts": {Model: schema, Pattern: "Artifact"},
+			"persons":   {Model: schema, Pattern: "Person"},
+		},
+	})
+	t.Cleanup(srv.Close)
+	return srv, ow
+}
+
+func serveWais(t *testing.T) (*Server, *waiswrap.Wrapper) {
+	t.Helper()
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(datagen.PaperWorks()))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, Exported{
+		Source:    ww,
+		Interface: ww.ExportInterface(),
+		Structures: map[string]StructureRef{
+			"works": {Model: ww.ExportStructure(), Pattern: "Works"},
+		},
+	})
+	t.Cleanup(srv.Close)
+	return srv, ww
+}
+
+func TestHelloAndImports(t *testing.T) {
+	srv, _ := serveO2(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Name() != "o2artifact" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if len(c.Documents()) != 2 {
+		t.Errorf("docs = %v", c.Documents())
+	}
+	iface, err := c.ImportInterface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iface.HasOperation("bind") || !iface.HasOperation("current_price") {
+		t.Error("interface incomplete over the wire")
+	}
+	sts, err := c.ImportStructures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts["artifacts"].Pattern != "Artifact" || sts["artifacts"].Model.Lookup("Artifact") == nil {
+		t.Errorf("structures = %+v", sts)
+	}
+}
+
+func TestRemoteFetchMatchesLocal(t *testing.T) {
+	srv, ow := serveO2(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote, err := c.Fetch("artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := ow.Fetch("artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("forest sizes: remote %d local %d", len(remote), len(local))
+	}
+	// Trees survive the XML round trip up to atom typing: the wire carries
+	// strings; compare titles structurally.
+	if remote[0].Label != "set" || len(remote[0].Kids) != 3 {
+		t.Errorf("remote extent = %v", remote[0])
+	}
+	if _, err := c.Fetch("ghost"); err == nil {
+		t.Error("remote fetch error must propagate")
+	}
+}
+
+func TestRemotePushMatchesLocal(t *testing.T) {
+	srv, ow := serveO2(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plan := &algebra.Select{
+		From: &algebra.Bind{Doc: "artifacts",
+			F: filter.MustParse(`set[ *class[ artifact.tuple[ title: $t, year: $y ] ] ]`)},
+		Pred: algebra.MustParseExpr(`$y > 1800`),
+	}
+	remote, err := c.Push(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := ow.Push(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remote.EqualUnordered(local) {
+		t.Errorf("remote:\n%s\nlocal:\n%s", remote, local)
+	}
+	// error propagation for unsupported plans
+	badPlan := &algebra.Bind{Doc: "artifacts", F: filter.MustParse(`set[ *class[ artifact.tuple[ ghost: $g ] ] ]`)}
+	if _, err := c.Push(badPlan, nil); err == nil {
+		t.Error("remote push error must propagate")
+	}
+}
+
+func TestDistributedFigure2Deployment(t *testing.T) {
+	// The full Figure 2 scenario over TCP: two wrapper servers, a mediator
+	// connecting through wire clients, view1 loaded, Q1 and Q2 evaluated.
+	o2srv, _ := serveO2(t)
+	waissrv, _ := serveWais(t)
+
+	m := mediator.New()
+	for _, addr := range []string{o2srv.Addr(), waissrv.Addr()} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		iface, err := c.ImportInterface()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Connect(c, iface); err != nil {
+			t.Fatal(err)
+		}
+		sts, err := c.ImportStructures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for doc, ref := range sts {
+			m.ImportStructure(doc, ref.Model, ref.Pattern)
+		}
+	}
+	m.RegisterFunc("contains", waiswrap.Contains)
+	if err := m.LoadProgram(datagen.View1Src); err != nil {
+		t.Fatal(err)
+	}
+	m.Assume("artifacts", "works", "$y > 1800")
+	m.Assume("persons", "works", "$y > 1800")
+
+	q1, err := m.Query(datagen.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Tab.Len() != 1 {
+		t.Fatalf("distributed Q1 rows = %d\n%s", q1.Tab.Len(), q1.Plan)
+	}
+	if a, _ := q1.Tab.Rows[0][0].AsAtom(); a.S != "Nympheas" {
+		t.Errorf("Q1 = %v", q1.Tab.Rows[0])
+	}
+
+	q2, err := m.Query(datagen.Q2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Tab.Len() != 1 || q2.Tab.Rows[0][0].Tree.Child("title").Atom.S != "Waterloo Bridge" {
+		t.Fatalf("distributed Q2 = %s\nplan:\n%s", q2.Tab, q2.Plan)
+	}
+	if !strings.Contains(q2.Plan, "SourceQuery") {
+		t.Errorf("distributed plan must push to sources:\n%s", q2.Plan)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	srv, _ := serveO2(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, "not xml at all"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "error") {
+		t.Errorf("resp = %q", resp)
+	}
+	if err := WriteFrame(conn, "<unknown-request/>"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ReadFrame(conn)
+	if err != nil || !strings.Contains(resp, "unknown request") {
+		t.Errorf("resp = %q, %v", resp, err)
+	}
+}
+
+func TestDistributedNaiveQueryAgrees(t *testing.T) {
+	// Even the naive strategy (materialize the view from fetched documents)
+	// works over the wire and agrees with the optimized result: fetched
+	// atoms are retyped so year comparisons behave.
+	o2srv, _ := serveO2(t)
+	waissrv, _ := serveWais(t)
+	m := mediator.New()
+	for _, addr := range []string{o2srv.Addr(), waissrv.Addr()} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		iface, err := c.ImportInterface()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Connect(c, iface); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RegisterFunc("contains", waiswrap.Contains)
+	if err := m.LoadProgram(datagen.View1Src); err != nil {
+		t.Fatal(err)
+	}
+	naive, err := m.QueryNaive(datagen.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := m.Query(datagen.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Tab.Len() != 1 || !naive.Tab.EqualUnordered(opt.Tab) {
+		t.Errorf("naive:\n%s\noptimized:\n%s", naive.Tab, opt.Tab)
+	}
+	if naive.Stats.SourceFetches == 0 {
+		t.Error("naive strategy must fetch documents")
+	}
+}

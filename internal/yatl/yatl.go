@@ -1,0 +1,450 @@
+// Package yatl implements the YAT_L integration language of Section 2: rules
+// of the form
+//
+//	artworks() :=
+//	MAKE  <construction>
+//	MATCH <doc> WITH <filter> (, <doc> WITH <filter>)*
+//	WHERE <predicate> ;
+//
+// and their algebraic translation (Section 3.2, Figure 5):
+//
+//  1. named documents are the input operations;
+//  2. each MATCH statement translates into a Bind capturing its
+//     filtering/binding semantics;
+//  3. predicates involving various inputs translate into Joins;
+//  4. other predicates translate into Selects (placed directly above the
+//     Bind they concern);
+//  5. the MAKE clause translates into a Tree operation.
+package yatl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/filter"
+)
+
+// Rule is one YAT_L rule: a named query. The rule name is the name of the
+// document the rule defines (e.g. "artworks").
+type Rule struct {
+	Name    string
+	Params  []string
+	Make    *algebra.Cons
+	Matches []Match
+	Where   algebra.Expr // nil when absent
+}
+
+// Match is one `doc WITH filter` clause.
+type Match struct {
+	Doc string
+	F   *filter.Filter
+}
+
+// Program is a sequence of rules (an integration program such as view1.yat).
+type Program struct {
+	Rules []Rule
+}
+
+// Rule returns the named rule, or nil.
+func (p *Program) Rule(name string) *Rule {
+	for i := range p.Rules {
+		if p.Rules[i].Name == name {
+			return &p.Rules[i]
+		}
+	}
+	return nil
+}
+
+// String renders the program in parseable YAT_L syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i := range p.Rules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(p.Rules[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one rule.
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) :=\n", r.Name, strings.Join(r.Params, ", "))
+	fmt.Fprintf(&b, "MAKE %s\n", r.Make)
+	b.WriteString("MATCH ")
+	for i, m := range r.Matches {
+		if i > 0 {
+			b.WriteString(",\n      ")
+		}
+		fmt.Fprintf(&b, "%s WITH %s", m.Doc, m.F)
+	}
+	if r.Where != nil {
+		fmt.Fprintf(&b, "\nWHERE %s", r.Where)
+	}
+	b.WriteString(" ;")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+// Parse parses a YAT_L program: rules terminated by ';'. Comments run from
+// '#' to end of line.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	for _, chunk := range splitRules(src) {
+		if strings.TrimSpace(chunk) == "" {
+			continue
+		}
+		r, err := parseRule(chunk)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, *r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("yatl: empty program")
+	}
+	return p, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseQuery parses a single anonymous query (a MAKE/MATCH/WHERE block
+// without a rule head), as typed at the mediator console (e.g. Q1).
+func ParseQuery(src string) (*Rule, error) {
+	src = stripComments(src)
+	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	return parseBody("query", nil, src)
+}
+
+// MustParseQuery is ParseQuery panicking on error.
+func MustParseQuery(src string) *Rule {
+	r, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func stripComments(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		inStr := false
+		for j := 0; j < len(l); j++ {
+			switch l[j] {
+			case '"':
+				inStr = !inStr
+			case '#':
+				if !inStr {
+					lines[i] = l[:j]
+					j = len(l)
+				}
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func splitRules(src string) []string {
+	src = stripComments(src)
+	var out []string
+	start := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '"':
+			inStr = !inStr
+		case ';':
+			if !inStr {
+				out = append(out, src[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(src[start:]) != "" {
+		out = append(out, src[start:])
+	}
+	return out
+}
+
+func parseRule(src string) (*Rule, error) {
+	// head: NAME '(' params ')' ':='
+	idx := strings.Index(src, ":=")
+	if idx < 0 {
+		return nil, fmt.Errorf("yatl: rule without ':=' head in %q", firstLine(src))
+	}
+	head := strings.TrimSpace(src[:idx])
+	open := strings.IndexByte(head, '(')
+	close_ := strings.LastIndexByte(head, ')')
+	if open < 0 || close_ < open {
+		return nil, fmt.Errorf("yatl: malformed rule head %q", head)
+	}
+	name := strings.TrimSpace(head[:open])
+	if name == "" {
+		return nil, fmt.Errorf("yatl: rule without a name")
+	}
+	var params []string
+	for _, pstr := range strings.Split(head[open+1:close_], ",") {
+		if s := strings.TrimSpace(pstr); s != "" {
+			params = append(params, s)
+		}
+	}
+	return parseBody(name, params, src[idx+2:])
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// parseBody parses `MAKE ... MATCH ... [WHERE ...]`, locating the keywords
+// at bracket depth zero and delegating the three sections to the
+// construction, filter and expression parsers.
+func parseBody(name string, params []string, src string) (*Rule, error) {
+	makePos := keywordPos(src, "MAKE")
+	matchPos := keywordPos(src, "MATCH")
+	wherePos := keywordPos(src, "WHERE")
+	if makePos < 0 || matchPos < 0 || matchPos < makePos {
+		return nil, fmt.Errorf("yatl: rule %s must have MAKE followed by MATCH", name)
+	}
+	makeSrc := src[makePos+4 : matchPos]
+	var matchSrc, whereSrc string
+	if wherePos >= 0 {
+		if wherePos < matchPos {
+			return nil, fmt.Errorf("yatl: rule %s has WHERE before MATCH", name)
+		}
+		matchSrc = src[matchPos+5 : wherePos]
+		whereSrc = src[wherePos+5:]
+	} else {
+		matchSrc = src[matchPos+5:]
+	}
+	r := &Rule{Name: name, Params: params}
+	cons, err := algebra.ParseCons(strings.TrimSpace(makeSrc))
+	if err != nil {
+		return nil, fmt.Errorf("yatl: rule %s MAKE: %w", name, err)
+	}
+	r.Make = cons
+	for _, clause := range splitTop(matchSrc) {
+		parts := splitKeyword(clause, "WITH")
+		if parts == nil {
+			return nil, fmt.Errorf("yatl: rule %s: MATCH clause %q lacks WITH", name, firstLine(clause))
+		}
+		doc := strings.TrimSpace(parts[0])
+		if doc == "" || strings.ContainsAny(doc, " \t\n") {
+			return nil, fmt.Errorf("yatl: rule %s: bad document name %q", name, doc)
+		}
+		f, err := filter.Parse(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("yatl: rule %s MATCH %s: %w", name, doc, err)
+		}
+		r.Matches = append(r.Matches, Match{Doc: doc, F: f})
+	}
+	if len(r.Matches) == 0 {
+		return nil, fmt.Errorf("yatl: rule %s has no MATCH clauses", name)
+	}
+	if strings.TrimSpace(whereSrc) != "" {
+		e, err := algebra.ParseExpr(strings.TrimSpace(whereSrc))
+		if err != nil {
+			return nil, fmt.Errorf("yatl: rule %s WHERE: %w", name, err)
+		}
+		r.Where = e
+	}
+	return r, nil
+}
+
+// keywordPos finds a top-level (bracket depth 0, outside strings) keyword
+// occurrence delimited by non-word characters. It returns -1 when absent.
+func keywordPos(src, kw string) int {
+	depth, inStr := 0, false
+	for i := 0; i+len(kw) <= len(src); i++ {
+		c := src[i]
+		switch c {
+		case '"':
+			inStr = !inStr
+			continue
+		case '[', '(':
+			if !inStr {
+				depth++
+			}
+			continue
+		case ']', ')':
+			if !inStr {
+				depth--
+			}
+			continue
+		}
+		if inStr || depth != 0 {
+			continue
+		}
+		if src[i:i+len(kw)] == kw &&
+			(i == 0 || !isWordByte(src[i-1])) &&
+			(i+len(kw) == len(src) || !isWordByte(src[i+len(kw)])) {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitTop splits on commas at bracket depth zero.
+func splitTop(src string) []string {
+	var out []string
+	depth, inStr, start := 0, false, 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '"':
+			inStr = !inStr
+		case '[', '(':
+			if !inStr {
+				depth++
+			}
+		case ']', ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, src[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(src[start:]) != "" {
+		out = append(out, src[start:])
+	}
+	return out
+}
+
+func splitKeyword(src, kw string) []string {
+	i := keywordPos(src, kw)
+	if i < 0 {
+		return nil
+	}
+	return []string{src[:i], src[i+len(kw):]}
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic translation (Section 3.2)
+// ---------------------------------------------------------------------------
+
+// Translate turns a rule into its algebraic plan, following the five
+// translation steps of Section 3.2. The resulting shape for the view1 rule
+// is exactly Figure 5: Bind leaves, per-input Selects, Joins for
+// cross-input predicates, a Tree on top.
+func Translate(r *Rule) (algebra.Op, error) {
+	if len(r.Matches) == 0 {
+		return nil, fmt.Errorf("yatl: rule %s has no inputs", r.Name)
+	}
+	conjuncts := algebra.SplitConj(orTrue(r.Where))
+	used := make([]bool, len(conjuncts))
+
+	// Step 1+2: one Bind per MATCH clause over its named document.
+	plans := make([]algebra.Op, len(r.Matches))
+	varsOf := make([]map[string]bool, len(r.Matches))
+	for i, m := range r.Matches {
+		plans[i] = &algebra.Bind{Doc: m.Doc, F: m.F}
+		varsOf[i] = varSet(m.F.Vars())
+	}
+	// Step 4 (applied early, as in Figure 5): single-input predicates
+	// become Selects directly above their Bind.
+	for i := range plans {
+		var mine []algebra.Expr
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			if coveredBy(c, varsOf[i]) {
+				mine = append(mine, c)
+				used[ci] = true
+			}
+		}
+		if len(mine) > 0 {
+			plans[i] = &algebra.Select{From: plans[i], Pred: algebra.Conj(mine...)}
+		}
+	}
+	// Step 3: fold the inputs left to right with Joins carrying the
+	// cross-input predicates that become applicable.
+	cur := plans[0]
+	curVars := varsOf[0]
+	for i := 1; i < len(plans); i++ {
+		merged := union(curVars, varsOf[i])
+		var preds []algebra.Expr
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			if coveredBy(c, merged) {
+				preds = append(preds, c)
+				used[ci] = true
+			}
+		}
+		cur = &algebra.Join{L: cur, R: plans[i], Pred: algebra.Conj(preds...)}
+		curVars = merged
+	}
+	// Any leftover predicate (e.g. referencing an unknown variable) is a
+	// final Select so that evaluation reports the unbound variable.
+	var rest []algebra.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) > 0 {
+		cur = &algebra.Select{From: cur, Pred: algebra.Conj(rest...)}
+	}
+	// Step 5: MAKE translates into a Tree operation.
+	return &algebra.TreeOp{From: cur, C: r.Make}, nil
+}
+
+func orTrue(e algebra.Expr) algebra.Expr {
+	if e == nil {
+		return algebra.TrueExpr()
+	}
+	return e
+}
+
+func varSet(vs []string) map[string]bool {
+	m := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	m := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		m[k] = true
+	}
+	for k := range b {
+		m[k] = true
+	}
+	return m
+}
+
+func coveredBy(e algebra.Expr, vars map[string]bool) bool {
+	for _, v := range e.Vars() {
+		if !vars[v] {
+			return false
+		}
+	}
+	return true
+}
