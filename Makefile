@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: check build vet test lint bench
+
+check: build vet test lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/yat-lint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,477 @@
+// Command yat-lint is a repository-specific static analyzer for the YAT
+// mediator, built only on the standard library (go/ast, go/parser,
+// go/types). It enforces two invariants the general Go toolchain cannot:
+//
+//  1. Exhaustive algebra.Op type switches: any type switch whose tag is an
+//     algebra.Op must handle every Op implementation declared in
+//     internal/algebra. Adding a new operator to op.go therefore fails the
+//     lint at every rewrite or execution switch that silently ignores it —
+//     the class of bug that turns a new operator into a no-op plan node.
+//  2. No mutation of a shared *tab.Tab: a function receiving a *tab.Tab
+//     parameter treats it as a shared operand (operator inputs are reused
+//     across plan branches) and must not call its mutating methods
+//     (Add, AddRow, SortBy, Concat) or write its fields; it must clone
+//     first.
+//
+// A finding is suppressed by a `// yat-lint:ignore <reason>` comment on the
+// offending line or the line directly above it. A `default:` clause does
+// NOT suppress the exhaustiveness check: a default that quietly returns the
+// operator unchanged is precisely the bug the check exists to catch.
+//
+// Usage:
+//
+//	yat-lint [packages...]   (defaults to ./...)
+//
+// Exits 0 when clean, 1 with findings, 2 on loader errors. Test files are
+// not analyzed.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	algebraPath = "repro/internal/algebra"
+	tabPath     = "repro/internal/tab"
+	ignoreTag   = "yat-lint:ignore"
+)
+
+// tabMutators are the *tab.Tab methods that modify the receiver in place.
+var tabMutators = map[string]bool{
+	"Add": true, "AddRow": true, "SortBy": true, "Concat": true,
+}
+
+func main() {
+	pats := os.Args[1:]
+	if len(pats) == 0 {
+		pats = []string{"./..."}
+	}
+	findings, err := run(pats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yat-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "yat-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// pkgInfo is the subset of `go list` output the linter needs.
+type pkgInfo struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+func run(pats []string) ([]string, error) {
+	pkgs, err := listPackages(pats)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportData(pats)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p := exports[path]
+		if p == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p)
+	})
+
+	// The algebra.Op implementation set comes from the compiled algebra
+	// package, so the lint tracks op.go automatically.
+	ops, err := opImplementations(imp)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	for _, pkg := range pkgs {
+		fs, err := lintPackage(fset, imp, pkg, ops)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// listPackages resolves the command-line patterns via the go tool.
+func listPackages(pats []string) ([]pkgInfo, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{range .GoFiles}}{{.}} {{end}}"}, pats...)
+	out, err := goTool(args)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []pkgInfo
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		pkgs = append(pkgs, pkgInfo{
+			ImportPath: parts[0],
+			Dir:        parts[1],
+			GoFiles:    strings.Fields(parts[2]),
+		})
+	}
+	return pkgs, nil
+}
+
+// exportData maps every dependency's import path to its compiled export
+// file. Modern toolchains ship no prebuilt stdlib .a files, so the default
+// importer cannot be used; `go list -export` materializes export data for
+// the whole dependency closure in the build cache instead.
+func exportData(pats []string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}={{.Export}}"}, pats...)
+	out, err := goTool(args)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if i := strings.IndexByte(line, '='); i > 0 && line[i+1:] != "" {
+			m[line[:i]] = line[i+1:]
+		}
+	}
+	return m, nil
+}
+
+func goTool(args []string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %w", strings.Join(args[:2], " "), err)
+	}
+	return string(out), nil
+}
+
+// opImplementations returns the names of all concrete types in the algebra
+// package whose pointer implements algebra.Op.
+func opImplementations(imp types.Importer) (map[string]bool, error) {
+	alg, err := imp.Import(algebraPath)
+	if err != nil {
+		return nil, fmt.Errorf("importing %s: %w", algebraPath, err)
+	}
+	opObj := alg.Scope().Lookup("Op")
+	if opObj == nil {
+		return nil, fmt.Errorf("%s has no Op interface", algebraPath)
+	}
+	opIface, ok := opObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil, fmt.Errorf("%s.Op is not an interface", algebraPath)
+	}
+	ops := map[string]bool{}
+	for _, name := range alg.Scope().Names() {
+		tn, ok := alg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() || name == "Op" {
+			continue
+		}
+		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(types.NewPointer(tn.Type()), opIface) {
+			ops[name] = true
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("no Op implementations found in %s", algebraPath)
+	}
+	return ops, nil
+}
+
+// lintPackage type-checks one package from source and runs both checks.
+func lintPackage(fset *token.FileSet, imp types.Importer, pkg pkgInfo, ops map[string]bool) ([]string, error) {
+	var files []*ast.File
+	for _, name := range pkg.GoFiles {
+		path := filepath.Join(pkg.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	conf.Check(pkg.ImportPath, fset, files, info) // errors reported via conf.Error
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	return analyze(fset, files, info, pkg.ImportPath, ops), nil
+}
+
+// analyze runs both checks over a type-checked package.
+func analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, ops map[string]bool) []string {
+	ignored := map[string]map[int]bool{} // filename → lines carrying an ignore tag
+	for _, f := range files {
+		lines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, ignoreTag) {
+					lines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		ignored[fset.Position(f.Pos()).Filename] = lines
+	}
+	c := &checker{fset: fset, info: info, ops: ops, ignored: ignored, pkgPath: pkgPath}
+	for _, f := range files {
+		c.file(f)
+	}
+	return c.findings
+}
+
+type checker struct {
+	fset     *token.FileSet
+	info     *types.Info
+	ops      map[string]bool
+	ignored  map[string]map[int]bool
+	pkgPath  string
+	findings []string
+	// params holds, per enclosing function (innermost last), the *tab.Tab
+	// parameters considered shared operands.
+	params []map[types.Object]bool
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	p := c.fset.Position(pos)
+	if lines := c.ignored[p.Filename]; lines != nil && (lines[p.Line] || lines[p.Line-1]) {
+		return
+	}
+	rel := p.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+	}
+	c.findings = append(c.findings,
+		fmt.Sprintf("%s:%d:%d: %s", rel, p.Line, p.Column, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) file(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			c.pushParams(x.Type)
+		case *ast.FuncLit:
+			c.pushParams(x.Type)
+		case *ast.TypeSwitchStmt:
+			c.checkOpSwitch(x)
+		case *ast.CallExpr:
+			c.checkTabCall(x)
+		case *ast.AssignStmt:
+			c.checkTabWrite(x)
+		case *ast.IncDecStmt:
+			if root := c.sharedTabRoot(x.X); root != "" {
+				c.report(x.Pos(), "mutation of shared *tab.Tab parameter %s", root)
+			}
+		case nil:
+		}
+		return true
+	})
+	// ast.Inspect gives no post-order hook for popping one frame at a time,
+	// so params frames are pushed eagerly and the stack reset per file; the
+	// over-approximation is harmless because parameter objects are compared
+	// by identity, never by name.
+	c.params = nil
+}
+
+// pushParams records the function's *tab.Tab parameters. The tab package
+// itself is exempt: Tab's own methods are the mutation API.
+func (c *checker) pushParams(ft *ast.FuncType) {
+	if c.pkgPath == tabPath {
+		return
+	}
+	frame := map[types.Object]bool{}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj := c.info.Defs[name]
+				if obj != nil && isTabPtr(obj.Type()) {
+					frame[obj] = true
+				}
+			}
+		}
+	}
+	c.params = append(c.params, frame)
+}
+
+func isTabPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == tabPath && named.Obj().Name() == "Tab"
+}
+
+// sharedTabRoot unwraps selector/index chains (t.Rows[i].x → t) and returns
+// the parameter name when the base identifier is a shared *tab.Tab
+// parameter of any enclosing function.
+func (c *checker) sharedTabRoot(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := c.info.Uses[x]
+			if obj == nil {
+				return ""
+			}
+			for _, frame := range c.params {
+				if frame[obj] {
+					return x.Name
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// checkTabCall flags mutating method calls on a shared *tab.Tab parameter.
+func (c *checker) checkTabCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !tabMutators[sel.Sel.Name] {
+		return
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		obj := c.info.Uses[ident]
+		if obj == nil {
+			return
+		}
+		for _, frame := range c.params {
+			if frame[obj] {
+				c.report(call.Pos(),
+					"call to %s on shared *tab.Tab parameter %s (clone before mutating)",
+					sel.Sel.Name, ident.Name)
+				return
+			}
+		}
+	}
+}
+
+// checkTabWrite flags field writes through a shared *tab.Tab parameter
+// (t.Rows = ..., t.Rows[i] = ..., t.Cols = append(...)).
+func (c *checker) checkTabWrite(as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if _, isIdent := lhs.(*ast.Ident); isIdent {
+			continue // plain variable assignment, not a field write
+		}
+		if root := c.sharedTabRoot(lhs); root != "" {
+			c.report(lhs.Pos(), "write through shared *tab.Tab parameter %s (clone before mutating)", root)
+		}
+	}
+}
+
+// checkOpSwitch flags algebra.Op type switches that do not handle every
+// implementation.
+func (c *checker) checkOpSwitch(sw *ast.TypeSwitchStmt) {
+	tag := switchTag(sw)
+	if tag == nil {
+		return
+	}
+	tv, ok := c.info.Types[tag]
+	if !ok || !isAlgebraOp(tv.Type) {
+		return
+	}
+	handled := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			et, ok := c.info.Types[e]
+			if !ok {
+				continue
+			}
+			if ptr, ok := et.Type.(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == algebraPath {
+					handled[named.Obj().Name()] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for op := range c.ops {
+		if !handled[op] {
+			missing = append(missing, op)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		c.report(sw.Pos(), "type switch over algebra.Op misses %d implementation(s): %s",
+			len(missing), strings.Join(missing, ", "))
+	}
+}
+
+// switchTag extracts the expression whose type is switched on:
+// `switch x := e.(type)` or `switch e.(type)`.
+func switchTag(sw *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	case *ast.ExprStmt:
+		e = a.X
+	}
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return nil
+}
+
+func isAlgebraOp(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == algebraPath && named.Obj().Name() == "Op"
+}

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	yat-mediator [-script session.txt]
+//	yat-mediator [-script session.txt] [-lint]
+//
+// With -lint, every plan is verified by the planlint static checker after
+// each optimizer rewriting step and before execution; a broken invariant
+// aborts the query with a diagnostic instead of a wrong answer.
 //
 // The console reads commands from stdin:
 //
@@ -35,6 +39,7 @@ import (
 
 func main() {
 	script := flag.String("script", "", "read commands from a file instead of stdin")
+	lint := flag.Bool("lint", false, "verify plan invariants after every rewrite and before execution")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -49,14 +54,15 @@ func main() {
 	}
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
-	if err := repl(in, os.Stdout); err != nil {
+	if err := repl(in, os.Stdout, *lint); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func repl(in io.Reader, out io.Writer) error {
+func repl(in io.Reader, out io.Writer, lint bool) error {
 	m := mediator.New()
+	m.CheckInvariants = lint
 	m.RegisterFunc("contains", waiswrap.Contains)
 	clients := map[string]*wire.Client{}
 	defer func() {

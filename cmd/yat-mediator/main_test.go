@@ -70,7 +70,8 @@ func TestConsoleSession(t *testing.T) {
 		"quit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := repl(strings.NewReader(session), &out); err != nil {
+	// lint=true: the whole session must survive plan invariant checking.
+	if err := repl(strings.NewReader(session), &out, true); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -101,7 +102,7 @@ func TestConsoleUsageErrors(t *testing.T) {
 		"exit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := repl(strings.NewReader(session), &out); err != nil {
+	if err := repl(strings.NewReader(session), &out, false); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
+	"repro/internal/planlint"
 	"repro/internal/tab"
 	"repro/internal/yatl"
 )
@@ -30,6 +31,10 @@ type Mediator struct {
 	assume     []optimizer.Containment
 	// Trace receives optimizer rewriting lines when non-nil.
 	Trace func(string)
+	// CheckInvariants verifies plans with planlint after every optimizer
+	// rewriting step and again immediately before execution; a violation
+	// aborts the query instead of producing a wrong answer.
+	CheckInvariants bool
 }
 
 // View is a registered YAT_L rule with its algebraic translation.
@@ -184,6 +189,7 @@ func (m *Mediator) substituteViews(op algebra.Op, depth int) (algebra.Op, error)
 		}
 		return out
 	}
+	// yat-lint:ignore intentionally partial: only Bind and Doc name view documents; default rebuilds children via the exhaustive rebuildAll
 	switch x := op.(type) {
 	case *algebra.Bind:
 		if x.Doc != "" {
@@ -248,6 +254,15 @@ func rebuildAll(op algebra.Op, fn func(algebra.Op) algebra.Op) algebra.Op {
 		return &algebra.Sort{From: fn(x.From), Cols: x.Cols}
 	case *algebra.TreeOp:
 		return &algebra.TreeOp{From: fn(x.From), C: x.C, OutCol: x.OutCol}
+	case *algebra.Bind:
+		if x.From != nil {
+			return rebuildBind(x, fn(x.From))
+		}
+		return op
+	case *algebra.SourceQuery:
+		return &algebra.SourceQuery{Source: x.Source, Plan: fn(x.Plan)}
+	case *algebra.Doc, *algebra.Literal:
+		return op // leaves
 	default:
 		return op
 	}
@@ -261,13 +276,52 @@ func (m *Mediator) optimizerOptions() optimizer.Options {
 		ifaces[n] = i
 	}
 	return optimizer.Options{
-		Interfaces:  ifaces,
-		SourceDocs:  m.sourceDocs,
-		Structures:  m.structures,
-		Assume:      m.assume,
-		InfoPassing: true,
-		Trace:       m.Trace,
+		Interfaces:      ifaces,
+		SourceDocs:      m.sourceDocs,
+		Structures:      m.structures,
+		Assume:          m.assume,
+		InfoPassing:     true,
+		CheckInvariants: m.CheckInvariants,
+		Trace:           m.Trace,
 	}
+}
+
+// lintConfig assembles the planlint configuration from the mediator's
+// catalog. Unlike the optimizer, the mediator knows the full document
+// catalog, so unknown-document diagnostics are enabled.
+func (m *Mediator) lintConfig() *planlint.Config {
+	structures := make(map[string]planlint.Structure, len(m.structures))
+	for doc, st := range m.structures {
+		structures[doc] = planlint.Structure{Model: st.Model, Pattern: st.Pattern}
+	}
+	docs := make(map[string]bool, len(m.sourceDocs))
+	for d := range m.sourceDocs {
+		docs[d] = true
+	}
+	return &planlint.Config{
+		Interfaces: m.ifaces,
+		SourceDocs: m.sourceDocs,
+		Structures: structures,
+		Docs:       docs,
+	}
+}
+
+// Lint verifies a plan against the mediator's catalog and capability
+// interfaces, returning every violation found.
+func (m *Mediator) Lint(plan algebra.Op) []planlint.Diagnostic {
+	return planlint.Check(plan, m.lintConfig())
+}
+
+// lintBeforeExec is the pre-execution gate: with CheckInvariants set, a plan
+// that fails verification is refused instead of evaluated.
+func (m *Mediator) lintBeforeExec(stage string, plan algebra.Op) error {
+	if !m.CheckInvariants {
+		return nil
+	}
+	if ds := m.Lint(plan); len(ds) > 0 {
+		return fmt.Errorf("mediator: refusing to execute %s plan: %w", stage, planlint.Error(ds))
+	}
+	return nil
 }
 
 // Optimize runs the three-round optimizer over a composed plan.
@@ -289,7 +343,13 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt := m.Optimize(naive)
+	opt, err := optimizer.New(m.optimizerOptions()).OptimizeChecked(naive)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.lintBeforeExec("optimized", opt); err != nil {
+		return nil, err
+	}
 	ctx := m.newContext()
 	t, err := opt.Eval(ctx)
 	if err != nil {
@@ -315,7 +375,13 @@ func (m *Mediator) QueryCustom(querySrc string, tune func(*optimizer.Options)) (
 	if tune != nil {
 		tune(&opts)
 	}
-	opt := optimizer.New(opts).Optimize(naive)
+	opt, err := optimizer.New(opts).OptimizeChecked(naive)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.lintBeforeExec("optimized", opt); err != nil {
+		return nil, err
+	}
 	ctx := m.newContext()
 	t, err := opt.Eval(ctx)
 	if err != nil {
@@ -335,6 +401,9 @@ func (m *Mediator) QueryCustom(querySrc string, tune func(*optimizer.Options)) (
 func (m *Mediator) QueryNaive(querySrc string) (*Result, error) {
 	naive, err := m.Compose(querySrc)
 	if err != nil {
+		return nil, err
+	}
+	if err := m.lintBeforeExec("naive", naive); err != nil {
 		return nil, err
 	}
 	ctx := m.newContext()

@@ -90,6 +90,7 @@ func (tr *translator) freshVar() string {
 }
 
 func (tr *translator) build(op algebra.Op) error {
+	// yat-lint:ignore intentionally partial: translates exactly the operations the OQL interface declares; the default refuses the push
 	switch x := op.(type) {
 	case *algebra.Project:
 		if err := tr.build(x.From); err != nil {

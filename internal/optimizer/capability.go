@@ -19,10 +19,15 @@ import (
 
 func (o *Optimizer) round2(plan algebra.Op) algebra.Op {
 	plan = o.splitForCapabilities(plan)
+	o.verify("round2/splitForCapabilities", plan)
 	plan = o.introduceEquivalences(plan)
+	o.verify("round2/introduceEquivalences", plan)
 	plan = pushSelections(plan)
+	o.verify("round2/pushSelections", plan)
 	plan = o.wrapSources(plan)
+	o.verify("round2/wrapSources", plan)
 	plan = o.mergeSourceJoins(plan)
+	o.verify("round2/mergeSourceJoins", plan)
 	return plan
 }
 
@@ -237,6 +242,7 @@ func (o *Optimizer) tryWrap(op algebra.Op) (algebra.Op, bool) {
 	cur := op
 chain:
 	for {
+		// yat-lint:ignore intentionally partial: only Select/Project* over Bind(doc) chains are wrappable
 		switch x := cur.(type) {
 		case *algebra.Select:
 			cur = x.From
@@ -263,6 +269,7 @@ chain:
 	// Rebuild the chain bottom-up, pushing what the interface accepts.
 	var build func(op algebra.Op) (pushed algebra.Op, residual []func(algebra.Op) algebra.Op)
 	build = func(op algebra.Op) (algebra.Op, []func(algebra.Op) algebra.Op) {
+		// yat-lint:ignore intentionally partial: mirrors the chain walk above; only Bind/Project/Select occur
 		switch x := op.(type) {
 		case *algebra.Bind:
 			return x, nil
@@ -425,6 +432,7 @@ func (o *Optimizer) round3(op algebra.Op) algebra.Op {
 // innermostSourceQuery returns the SourceQuery at the bottom of a
 // Select/Project chain, or nil.
 func innermostSourceQuery(op algebra.Op) *algebra.SourceQuery {
+	// yat-lint:ignore intentionally partial: anything but a Select/Project chain ends the search
 	switch x := op.(type) {
 	case *algebra.SourceQuery:
 		return x

@@ -6,6 +6,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/capability"
 	"repro/internal/pattern"
+	"repro/internal/planlint"
 )
 
 // Containment is a declared assumption letting the optimizer prune a join
@@ -48,14 +49,34 @@ type Options struct {
 	DisableComposition bool // skip Bind–Tree elimination
 	DisablePushdown    bool // skip capability-based pushdown (round 2)
 	DisableTypeRules   bool // skip type-driven filter simplification
+	// CheckInvariants verifies plan well-formedness with planlint after
+	// every rewriting step of every round; the first violation — named by
+	// the round and rule that introduced it — is reported through Trace and
+	// returned by OptimizeChecked. A rewrite that unbinds a variable,
+	// breaks Skolem arity or pushes an infeasible subplan is caught at the
+	// step that did it, not as a wrong answer at execution time.
+	CheckInvariants bool
 	// Trace receives one line per applied rewriting when non-nil.
 	Trace func(string)
+}
+
+// InvariantError reports a plan invariant broken by a rewriting step: Stage
+// names the round and rule ("round2/wrapSources"), Diags the violations.
+type InvariantError struct {
+	Stage string
+	Diags []planlint.Diagnostic
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("optimizer: invariant broken after %s: %v", e.Stage, planlint.Error(e.Diags))
 }
 
 // Optimizer rewrites algebraic plans.
 type Optimizer struct {
 	opts  Options
 	fresh *freshVars
+	err   error // first invariant violation (CheckInvariants only)
 }
 
 // New returns an optimizer over the given options.
@@ -68,17 +89,62 @@ func (o *Optimizer) trace(format string, args ...any) {
 }
 
 // Optimize runs the three rewriting rounds of Section 6 and returns the
-// rewritten plan. The input plan is not mutated.
+// rewritten plan. The input plan is not mutated. With CheckInvariants set,
+// violations are reported through Trace only; use OptimizeChecked to also
+// receive them as an error.
 func (o *Optimizer) Optimize(plan algebra.Op) algebra.Op {
+	out, _ := o.optimize(plan)
+	return out
+}
+
+// OptimizeChecked optimizes like Optimize and returns the first invariant
+// violation as an *InvariantError (always nil unless Options.CheckInvariants
+// is set). The returned plan is the full rewriting result either way.
+func (o *Optimizer) OptimizeChecked(plan algebra.Op) (algebra.Op, error) {
+	return o.optimize(plan)
+}
+
+func (o *Optimizer) optimize(plan algebra.Op) (algebra.Op, error) {
 	o.fresh = newFreshVars(plan)
+	o.err = nil
+	o.verify("input", plan)
 	out := o.round1(plan)
 	if !o.opts.DisablePushdown {
 		out = o.round2(out)
 	}
 	if o.opts.InfoPassing {
 		out = o.round3(out)
+		o.verify("round3/infoPassing", out)
 	}
-	return out
+	return out, o.err
+}
+
+// lintConfig assembles the static knowledge planlint needs from the
+// optimizer options.
+func (o *Optimizer) lintConfig() *planlint.Config {
+	structures := make(map[string]planlint.Structure, len(o.opts.Structures))
+	for doc, st := range o.opts.Structures {
+		structures[doc] = planlint.Structure{Model: st.Model, Pattern: st.Pattern}
+	}
+	return &planlint.Config{
+		Interfaces: o.opts.Interfaces,
+		SourceDocs: o.opts.SourceDocs,
+		Structures: structures,
+	}
+}
+
+// verify checks the plan after one rewriting step and records the first
+// violation, naming the stage (round and rule) that introduced it. Verifying
+// after every step — not only at round boundaries — pins a miscompile to the
+// exact rule.
+func (o *Optimizer) verify(stage string, plan algebra.Op) {
+	if !o.opts.CheckInvariants || o.err != nil {
+		return
+	}
+	if ds := planlint.Check(plan, o.lintConfig()); len(ds) > 0 {
+		o.err = &InvariantError{Stage: stage, Diags: ds}
+		o.trace("INVARIANT BROKEN after %s:\n%v", stage, planlint.Error(ds))
+	}
 }
 
 // round1 simplifies compositions: Bind–Tree elimination, selection
@@ -89,14 +155,20 @@ func (o *Optimizer) round1(plan algebra.Op) algebra.Op {
 	for iter := 0; iter < 6; iter++ {
 		if !o.opts.DisableComposition {
 			plan = o.eliminateCompositions(plan)
+			o.verify("round1/eliminateCompositions", plan)
 		}
 		plan = pushSelections(plan)
+		o.verify("round1/pushSelections", plan)
 		plan = o.pruneColumns(plan, colSet(plan.Columns()))
+		o.verify("round1/pruneColumns", plan)
 		if !o.opts.DisableTypeRules {
 			plan = o.expandLabelVars(plan)
+			o.verify("round1/expandLabelVars", plan)
 		}
 		plan = pushSelections(plan)
+		o.verify("round1/pushSelections", plan)
 		plan = simplifyProjects(plan)
+		o.verify("round1/simplifyProjects", plan)
 		cur := algebra.Describe(plan)
 		if cur == prev {
 			break

@@ -33,6 +33,7 @@ func pushSelections(op algebra.Op) algebra.Op {
 // sink pushes the given conjuncts into op where possible; it returns the
 // rebuilt operator and the conjuncts that could not be placed below.
 func sink(op algebra.Op, conjs []algebra.Expr) (algebra.Op, []algebra.Expr) {
+	// yat-lint:ignore intentionally partial: operators without a sink rule keep the selection above them (default)
 	switch x := op.(type) {
 	case *algebra.Select:
 		// Merge and retry below.
@@ -175,6 +176,8 @@ func rebuildChildren(op algebra.Op, fn func(algebra.Op) algebra.Op) algebra.Op {
 		return op
 	case *algebra.SourceQuery:
 		return op // pushed plans are opaque to mediator rewriting
+	case *algebra.Doc, *algebra.Literal:
+		return op // leaves
 	default:
 		return op
 	}
@@ -189,6 +192,7 @@ func rebuildChildren(op algebra.Op, fn func(algebra.Op) algebra.Op) algebra.Op {
 // assumption — eliminating join branches none of whose columns are needed
 // (the source pruning of Figure 8).
 func (o *Optimizer) pruneColumns(op algebra.Op, needed map[string]bool) algebra.Op {
+	// yat-lint:ignore intentionally partial: operators without a pruning rule conservatively need all their columns (default)
 	switch x := op.(type) {
 	case *algebra.Project:
 		// Columns feeding the projection.
@@ -341,6 +345,7 @@ func sortStrings(s []string) {
 func docsUnder(op algebra.Op) []string {
 	var out []string
 	algebra.Walk(op, func(n algebra.Op) bool {
+		// yat-lint:ignore intentionally partial: only Bind and Doc name documents
 		switch x := n.(type) {
 		case *algebra.Bind:
 			if x.Doc != "" {
@@ -364,6 +369,7 @@ func freeVars(op algebra.Op) map[string]bool {
 			bound[c] = true
 		}
 		var refs []string
+		// yat-lint:ignore intentionally partial: only predicate/expression/parameter operators reference variables; columns of others are collected above
 		switch x := n.(type) {
 		case *algebra.Select:
 			refs = x.Pred.Vars()

@@ -37,7 +37,8 @@ func culturalOpts(n int) (Options, *algebra.Context, *datagen.Workload) {
 			"persons":   {Model: schema, Pattern: "Person"},
 			"works":     {Model: ww.ExportStructure(), Pattern: "Works"},
 		},
-		InfoPassing: true,
+		InfoPassing:     true,
+		CheckInvariants: true,
 	}
 	return opts, ctx, w
 }
@@ -66,7 +67,10 @@ func TestFullPipelinePushesBothSources(t *testing.T) {
 	opts.Trace = func(s string) { traces = append(traces, s) }
 	o := New(opts)
 	plan := q2LikePlan()
-	opt := o.Optimize(plan)
+	opt, err := o.OptimizeChecked(plan)
+	if err != nil {
+		t.Fatalf("invariant broken during optimization: %v", err)
+	}
 	s := algebra.Describe(opt)
 	for _, frag := range []string{"SourceQuery(o2artifact)", "SourceQuery(xmlartwork)", "DJoin", "contains("} {
 		if !strings.Contains(s, frag) {
