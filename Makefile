@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench
+.PHONY: check build vet test lint bench bench-smoke
 
-check: build vet test lint
+check: build vet test lint bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,8 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of every benchmark: catches bit-rotted benchmark code (and
+# the result-equality assertions inside them) without paying for a full run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run XXX .

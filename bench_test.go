@@ -11,8 +11,12 @@ package yat
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/data"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/o2wrap"
 	"repro/internal/tab"
 	"repro/internal/waiswrap"
+	"repro/internal/wire"
 )
 
 // benchSetup wires the cultural mediator over a generated workload.
@@ -285,6 +290,127 @@ func benchQuery(b *testing.B, m *mediator.Mediator, src string, naive bool) {
 	b.ReportMetric(float64(first.Stats.TuplesShipped), "tuples-shipped")
 	b.ReportMetric(float64(first.Stats.SourceFetches), "fetches")
 	b.ReportMetric(float64(first.Stats.SourcePushes), "pushes")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 (parallel) — Q2 pushdown on the parallel execution engine
+// ---------------------------------------------------------------------------
+
+// delaySource adds a fixed service latency to every fetch and push — the
+// wide-area round trip of the paper's setting, where sources are remote and
+// Section 5.3's costs are dominated by per-query round trips. The latency is
+// what the parallel engine overlaps; the work stays identical.
+type delaySource struct {
+	algebra.Source
+	d time.Duration
+}
+
+func (s *delaySource) Fetch(doc string) (data.Forest, error) {
+	time.Sleep(s.d)
+	return s.Source.Fetch(doc)
+}
+
+func (s *delaySource) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	time.Sleep(s.d)
+	return s.Source.Push(plan, params)
+}
+
+// wireMediator deploys the Figure 2 scenario over real TCP with the given
+// per-request source latency and returns a mediator whose sources are wire
+// clients.
+func wireMediator(b *testing.B, w *datagen.Workload, latency time.Duration) *mediator.Mediator {
+	b.Helper()
+	ow := o2wrap.New("o2artifact", w.DB)
+	schema := ow.ExportSchema()
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(w.Works))
+	exps := []wire.Exported{
+		{Source: &delaySource{Source: ow, d: latency}, Interface: ow.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"artifacts": {Model: schema, Pattern: "Artifact"},
+				"persons":   {Model: schema, Pattern: "Person"},
+			}},
+		{Source: &delaySource{Source: ww, d: latency}, Interface: ww.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"works": {Model: ww.ExportStructure(), Pattern: "Works"},
+			}},
+	}
+	m := mediator.New()
+	for _, exp := range exps {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := wire.Serve(ln, exp)
+		b.Cleanup(srv.Close)
+		c, err := wire.Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		iface, err := c.ImportInterface()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Connect(c, iface); err != nil {
+			b.Fatal(err)
+		}
+		sts, err := c.ImportStructures()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for doc, ref := range sts {
+			m.ImportStructure(doc, ref.Model, ref.Pattern)
+		}
+	}
+	m.RegisterFunc("contains", waiswrap.Contains)
+	if err := m.LoadProgram(datagen.View1Src); err != nil {
+		b.Fatal(err)
+	}
+	m.Assume("artifacts", "works", "$y > 1800")
+	m.Assume("persons", "works", "$y > 1800")
+	return m
+}
+
+// BenchmarkFig9Q2Parallel runs Q2's pushdown plan — a DJoin pushing one O₂
+// sub-query per qualifying work — on the parallel engine against wire
+// wrappers with a 2ms service latency. Serial evaluation pays the latency
+// once per outer row; the engine overlaps up to `workers` rows. Rows and
+// push counts are asserted identical to serial before timing.
+func BenchmarkFig9Q2Parallel(b *testing.B) {
+	const latency = 2 * time.Millisecond
+	w := datagen.Generate(datagen.DefaultParams(1000))
+	m := wireMediator(b, w, latency)
+	serial, err := m.ExecuteContext(context.Background(), Q2, mediator.ExecOptions{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if serial.Tab.Len() == 0 || serial.Stats.SourcePushes == 0 {
+		b.Fatalf("degenerate fixture: %d rows, %d pushes", serial.Tab.Len(), serial.Stats.SourcePushes)
+	}
+	workers := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		workers = append(workers, g)
+	}
+	for _, n := range workers {
+		opts := mediator.ExecOptions{Parallelism: n, Timeout: time.Minute}
+		res, err := m.ExecuteContext(context.Background(), Q2, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Tab.Equal(serial.Tab) || res.Stats.SourcePushes != serial.Stats.SourcePushes {
+			b.Fatalf("workers=%d diverges from serial: %d vs %d rows, %d vs %d pushes",
+				n, res.Tab.Len(), serial.Tab.Len(), res.Stats.SourcePushes, serial.Stats.SourcePushes)
+		}
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ExecuteContext(context.Background(), Q2, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(serial.Stats.SourcePushes), "pushes")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

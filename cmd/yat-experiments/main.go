@@ -1,7 +1,8 @@
 // Command yat-experiments regenerates every table of EXPERIMENTS.md: the
 // per-figure experiments (F7, F8, F9), the transfer sweep (E10), the
-// information-passing crossover (E11), the source-index ablation (E12) and
-// the optimizer-round ablation (E13). Each table reports measured wall
+// information-passing crossover (E11), the source-index ablation (E12),
+// the optimizer-round ablation (E13) and the parallel-engine worker sweep
+// (E15, over live TCP wrappers). Each table reports measured wall
 // time, shipped bytes/tuples and source calls; correctness is asserted
 // against the generator's ground truth on every run.
 //
@@ -11,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/filter"
 	"repro/internal/mediator"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/tab"
 	"repro/internal/waiswrap"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -63,6 +68,9 @@ func run(sizes, sweep []int) error {
 		return err
 	}
 	if err := e13(sizes[len(sizes)-1]); err != nil {
+		return err
+	}
+	if err := e15(sizes[len(sizes)-2]); err != nil {
 		return err
 	}
 	return nil
@@ -372,6 +380,103 @@ func e13(n int) error {
 	}
 	if first.Tab.Len() != len(w.Q2Titles) {
 		return fmt.Errorf("E13 correctness check failed")
+	}
+	return nil
+}
+
+// delaySource adds a fixed service latency to every fetch and push — the
+// wide-area round trip the parallel engine overlaps.
+type delaySource struct {
+	algebra.Source
+	d time.Duration
+}
+
+func (s *delaySource) Fetch(doc string) (data.Forest, error) {
+	time.Sleep(s.d)
+	return s.Source.Fetch(doc)
+}
+
+func (s *delaySource) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	time.Sleep(s.d)
+	return s.Source.Push(plan, params)
+}
+
+// e15 sweeps the parallel execution engine's worker count on Q2's pushdown
+// plan against wire wrappers with a simulated 2ms service latency: serial
+// evaluation pays one round trip per DJoin outer row, the engine overlaps
+// up to `workers` of them. Rows and push counts are asserted identical to
+// serial at every point.
+func e15(n int) error {
+	const latency = 2 * time.Millisecond
+	w := datagen.Generate(datagen.DefaultParams(n))
+	ow := o2wrap.New("o2artifact", w.DB)
+	schema := ow.ExportSchema()
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(w.Works))
+	exps := []wire.Exported{
+		{Source: &delaySource{Source: ow, d: latency}, Interface: ow.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"artifacts": {Model: schema, Pattern: "Artifact"},
+				"persons":   {Model: schema, Pattern: "Person"},
+			}},
+		{Source: &delaySource{Source: ww, d: latency}, Interface: ww.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"works": {Model: ww.ExportStructure(), Pattern: "Works"},
+			}},
+	}
+	m := mediator.New()
+	for _, exp := range exps {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := wire.Serve(ln, exp)
+		defer srv.Close()
+		c, err := wire.Dial(srv.Addr())
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		iface, err := c.ImportInterface()
+		if err != nil {
+			return err
+		}
+		if err := m.Connect(c, iface); err != nil {
+			return err
+		}
+		sts, err := c.ImportStructures()
+		if err != nil {
+			return err
+		}
+		for doc, ref := range sts {
+			m.ImportStructure(doc, ref.Model, ref.Pattern)
+		}
+	}
+	m.RegisterFunc("contains", waiswrap.Contains)
+	if err := m.LoadProgram(datagen.View1Src); err != nil {
+		return err
+	}
+	m.Assume("artifacts", "works", "$y > 1800")
+	m.Assume("persons", "works", "$y > 1800")
+
+	printHead(fmt.Sprintf("E15: parallel engine on Q2 over wire, %v source latency (artifacts=%d)", latency, n))
+	var serial *mediator.Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := mediator.ExecOptions{Parallelism: workers, Timeout: time.Minute}
+		res, d, err := med(func() (*mediator.Result, error) {
+			return m.ExecuteContext(context.Background(), datagen.Q2Src, opts)
+		})
+		if err != nil {
+			return err
+		}
+		printRow(fmt.Sprintf("workers=%d", workers), res, d)
+		if serial == nil {
+			serial = res
+		} else if !serial.Tab.Equal(res.Tab) || serial.Stats.SourcePushes != res.Stats.SourcePushes {
+			return fmt.Errorf("E15: workers=%d diverges from serial", workers)
+		}
+	}
+	if serial.Tab.Len() != len(w.Q2Titles) {
+		return fmt.Errorf("E15 correctness check failed")
 	}
 	return nil
 }

@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	yat-mediator [-script session.txt] [-lint]
+//	yat-mediator [-script session.txt] [-lint] [-parallel N] [-timeout D]
 //
 // With -lint, every plan is verified by the planlint static checker after
 // each optimizer rewriting step and before execution; a broken invariant
 // aborts the query with a diagnostic instead of a wrong answer.
+//
+// With -parallel N > 1, `query` evaluates plans on the parallel execution
+// engine with N workers: independent subplans and DJoin sub-queries run
+// concurrently (result rows and statistics are identical to serial
+// execution). -timeout bounds each query's wall-clock time; an expired
+// deadline cancels in-flight wrapper requests instead of hanging.
 //
 // The console reads commands from stdin:
 //
@@ -25,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +47,8 @@ import (
 func main() {
 	script := flag.String("script", "", "read commands from a file instead of stdin")
 	lint := flag.Bool("lint", false, "verify plan invariants after every rewrite and before execution")
+	parallel := flag.Int("parallel", 1, "execution workers per query (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -54,13 +63,14 @@ func main() {
 	}
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
-	if err := repl(in, os.Stdout, *lint); err != nil {
+	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout}
+	if err := repl(in, os.Stdout, *lint, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func repl(in io.Reader, out io.Writer, lint bool) error {
+func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions) error {
 	m := mediator.New()
 	m.CheckInvariants = lint
 	m.RegisterFunc("contains", waiswrap.Contains)
@@ -81,7 +91,7 @@ func repl(in io.Reader, out io.Writer, lint bool) error {
 			queryBuf.WriteString(line)
 			queryBuf.WriteByte('\n')
 			if strings.Contains(line, ";") {
-				runQuery(out, m, mode, queryBuf.String())
+				runQuery(out, m, mode, queryBuf.String(), opts)
 				queryBuf.Reset()
 				mode = ""
 			}
@@ -153,7 +163,7 @@ func repl(in io.Reader, out io.Writer, lint bool) error {
 			queryBuf.WriteString(rest)
 			queryBuf.WriteByte('\n')
 			if strings.Contains(rest, ";") {
-				runQuery(out, m, mode, queryBuf.String())
+				runQuery(out, m, mode, queryBuf.String(), opts)
 				queryBuf.Reset()
 				mode = ""
 			}
@@ -200,7 +210,7 @@ func importStructures(m *mediator.Mediator, c *wire.Client) error {
 	return nil
 }
 
-func runQuery(out io.Writer, m *mediator.Mediator, mode, src string) {
+func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediator.ExecOptions) {
 	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
 	switch mode {
 	case "explain":
@@ -220,7 +230,7 @@ func runQuery(out io.Writer, m *mediator.Mediator, mode, src string) {
 		}
 		printResult(out, res)
 	default:
-		res, err := m.Query(src)
+		res, err := m.ExecuteContext(context.Background(), src, opts)
 		if err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 			return

@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/mediator"
 	"repro/internal/o2wrap"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
@@ -71,7 +73,7 @@ func TestConsoleSession(t *testing.T) {
 	}, "\n") + "\n"
 	var out strings.Builder
 	// lint=true: the whole session must survive plan invariant checking.
-	if err := repl(strings.NewReader(session), &out, true); err != nil {
+	if err := repl(strings.NewReader(session), &out, true, mediator.ExecOptions{Parallelism: 1}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -102,7 +104,7 @@ func TestConsoleUsageErrors(t *testing.T) {
 		"exit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := repl(strings.NewReader(session), &out, false); err != nil {
+	if err := repl(strings.NewReader(session), &out, false, mediator.ExecOptions{Parallelism: 4, Timeout: 30 * time.Second}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

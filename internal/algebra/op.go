@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,6 +28,19 @@ type Source interface {
 	// operations the source declared in its capability interface; params
 	// carries bindings passed sideways by a DJoin (information passing).
 	Push(plan Op, params map[string]tab.Cell) (*tab.Tab, error)
+}
+
+// ContextSource is the optional cancellable extension of Source: sources
+// that perform I/O (the wire client above TCP wrappers) implement it so a
+// query deadline or cancellation propagates into in-flight requests instead
+// of hanging the evaluation on a dead wrapper. Evaluation uses these
+// variants whenever the evaluation context carries a context.Context.
+type ContextSource interface {
+	Source
+	// FetchContext is Fetch under a cancellation context.
+	FetchContext(ctx context.Context, doc string) (data.Forest, error)
+	// PushContext is Push under a cancellation context.
+	PushContext(ctx context.Context, plan Op, params map[string]tab.Cell) (*tab.Tab, error)
 }
 
 // Stats counts the externally observable work of a plan execution; the
@@ -109,6 +123,10 @@ type Context struct {
 	Model *pattern.Model
 	// Stats accumulates execution counters.
 	Stats *Stats
+	// Ctx, when non-nil, carries the query's cancellation context:
+	// long-running operators check it between units of work and
+	// ContextSource connections receive it for in-flight I/O.
+	Ctx context.Context
 }
 
 // NewContext returns an empty evaluation context. The builtin function
@@ -156,6 +174,33 @@ func (c *Context) WithParams(extra map[string]tab.Cell) *Context {
 	return &cc
 }
 
+// WithContext returns a shallow copy of the context carrying a cancellation
+// context (threaded from Mediator.ExecuteContext down to the sources).
+func (c *Context) WithContext(ctx context.Context) *Context {
+	cc := *c
+	cc.Ctx = ctx
+	return &cc
+}
+
+// Fork returns a shallow copy with a fresh Stats accumulator. Parallel
+// evaluation gives every concurrent worker its own fork so counter updates
+// never race; the parent merges the forks back with Stats.Add, keeping the
+// accounting exact (per-worker merge instead of shared atomics).
+func (c *Context) Fork() *Context {
+	cc := *c
+	cc.Stats = &Stats{}
+	return &cc
+}
+
+// Err reports the cancellation state of the attached context; a context-free
+// evaluation is never cancelled.
+func (c *Context) Err() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
 // Input resolves a named document: catalog first, then connected sources.
 func (c *Context) Input(name string) (data.Forest, error) {
 	if f, ok := c.Catalog[name]; ok {
@@ -165,7 +210,13 @@ func (c *Context) Input(name string) (data.Forest, error) {
 	for _, s := range c.Sources {
 		for _, d := range s.Documents() {
 			if d == name {
-				f, err := s.Fetch(name)
+				var f data.Forest
+				var err error
+				if cs, ok := s.(ContextSource); ok && c.Ctx != nil {
+					f, err = cs.FetchContext(c.Ctx, name)
+				} else {
+					f, err = s.Fetch(name)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -559,8 +610,15 @@ func (j *DJoin) Eval(ctx *Context) (*tab.Tab, error) {
 		return nil, err
 	}
 	out := tab.New(j.Columns()...)
-	params := make(map[string]tab.Cell, len(l.Cols))
 	for _, lr := range l.Rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// A fresh map per row: reusing one map across rows races with any
+		// concurrent reader of a previous row's bindings (the parallel
+		// DJoin fan-out of internal/exec reads them while this loop would
+		// be rewriting the shared map).
+		params := make(map[string]tab.Cell, len(l.Cols))
 		for i, c := range l.Cols {
 			params[c] = lr[i]
 		}
@@ -756,7 +814,16 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 	if !ok {
 		return nil, fmt.Errorf("algebra: unknown source %q", q.Source)
 	}
-	t, err := src.Push(q.Plan, ctx.Params)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var t *tab.Tab
+	var err error
+	if cs, ok := src.(ContextSource); ok && ctx.Ctx != nil {
+		t, err = cs.PushContext(ctx.Ctx, q.Plan, ctx.Params)
+	} else {
+		t, err = src.Push(q.Plan, ctx.Params)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("source %s: %w", q.Source, err)
 	}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // AtomKind enumerates the atomic value types of the YAT model.
@@ -615,8 +616,11 @@ func (f Forest) String() string {
 }
 
 // Store resolves identifiers to trees; it backs reference traversal
-// (`&` edges in Figure 1, e.g. owners refs="p1 p2 p3").
+// (`&` edges in Figure 1, e.g. owners refs="p1 p2 p3"). A Store is safe for
+// concurrent use: parallel plan evaluation registers fetched documents and
+// dereferences identifiers from multiple workers at once.
 type Store struct {
+	mu   sync.RWMutex
 	byID map[string]*Node
 }
 
@@ -626,6 +630,8 @@ func NewStore() *Store { return &Store{byID: make(map[string]*Node)} }
 // Register records every identified node of the subtree. Later
 // registrations of the same identifier overwrite earlier ones.
 func (s *Store) Register(n *Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n.Walk(func(m *Node) bool {
 		if m.ID != "" {
 			s.byID[m.ID] = m
@@ -635,7 +641,11 @@ func (s *Store) Register(n *Node) {
 }
 
 // Lookup resolves an identifier, returning nil if unknown.
-func (s *Store) Lookup(id string) *Node { return s.byID[id] }
+func (s *Store) Lookup(id string) *Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[id]
+}
 
 // Deref resolves a node: reference nodes are chased through the store (one
 // hop), others returned unchanged. A dangling reference yields nil.
@@ -643,8 +653,14 @@ func (s *Store) Deref(n *Node) *Node {
 	if n == nil || !n.IsRef() {
 		return n
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.byID[n.Ref]
 }
 
 // Len reports the number of registered identifiers.
-func (s *Store) Len() int { return len(s.byID) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}

@@ -1,0 +1,330 @@
+// Package exec is the mediator's parallel, cancellable execution engine.
+// The algebra's recursive Eval is strictly sequential: a DJoin pushes one
+// sub-query per outer row and waits for each answer before sending the next
+// — pathological over the TCP wrappers of internal/wire, where every push
+// is a network round trip (the information-passing cost model of Section
+// 5.3). This engine evaluates the same plans with a bounded worker pool:
+//
+//   - the independent inputs of Join, Union and Intersect evaluate
+//     concurrently;
+//   - DJoin fans its inner plan out across outer rows with a configurable
+//     in-flight bound, each row under its own parameter bindings;
+//   - a context.Context threads from Run through algebra.Context into the
+//     wire client, so a per-query timeout or cancellation aborts in-flight
+//     source I/O instead of hanging the query on a dead wrapper.
+//
+// Results are deterministic and identical to serial evaluation row for row:
+// concurrent units are collected and then combined in plan order (DJoin
+// emits per-outer-row results in outer order), which also preserves the
+// paper's bag semantics. Counter accounting stays exact because every
+// worker accumulates into a forked algebra.Stats that the parent merges
+// (per-worker merge instead of shared atomics). Subplans that mint Skolem
+// identifiers are the one exception to parallelism: their mint order is
+// observable in the output, so the engine serializes any pair of units that
+// would both mint (see mintsSkolems).
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/tab"
+)
+
+// Options configure one engine.
+type Options struct {
+	// Parallelism bounds the number of concurrently evaluating workers.
+	// 1 forces serial evaluation (the engine then behaves exactly like the
+	// recursive Eval); values below 1 default to GOMAXPROCS.
+	Parallelism int
+	// FanOut bounds the in-flight inner evaluations of one DJoin. Zero or
+	// negative means "use Parallelism". The effective bound is never larger
+	// than Parallelism: fan-out workers come from the same pool.
+	FanOut int
+	// Timeout is the per-query deadline applied by Run; zero disables it.
+	Timeout time.Duration
+}
+
+// Engine evaluates algebra plans with a bounded worker pool. It is safe for
+// concurrent use; all queries run through one engine share its pool.
+type Engine struct {
+	opts Options
+	// tokens is the pool of *extra* workers: the goroutine calling Run
+	// counts as one worker, so capacity is Parallelism-1. A unit of work
+	// forks only when a token is free, otherwise it runs inline — this
+	// never deadlocks, however deep the plan.
+	tokens chan struct{}
+}
+
+// New returns an engine over the given options.
+func New(opts Options) *Engine {
+	if opts.Parallelism < 1 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.FanOut < 1 || opts.FanOut > opts.Parallelism {
+		opts.FanOut = opts.Parallelism
+	}
+	return &Engine{opts: opts, tokens: make(chan struct{}, opts.Parallelism-1)}
+}
+
+// Options reports the engine's effective configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Run evaluates a plan, applying the engine's timeout and threading the
+// context through the evaluation context into the sources. The returned
+// rows are identical, in order, to what plan.Eval would produce.
+func (e *Engine) Run(ctx context.Context, plan algebra.Op, actx *algebra.Context) (*tab.Tab, error) {
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
+	return e.eval(ctx, plan, actx.WithContext(ctx))
+}
+
+// lit wraps an evaluated input so an operator's own Eval can combine it.
+func lit(t *tab.Tab) algebra.Op { return &algebra.Literal{T: t} }
+
+// eval evaluates one plan node. Operators with several independent inputs
+// (Join, DJoin, Union, Intersect) are scheduled here; everything else
+// evaluates its input through the engine and then delegates to the
+// operator's own Eval over the materialized input, so combine semantics
+// (hash joins, residual predicates, grouping, construction) stay in exactly
+// one place: internal/algebra.
+func (e *Engine) eval(ctx context.Context, op algebra.Op, actx *algebra.Context) (*tab.Tab, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch x := op.(type) {
+	case *algebra.Doc, *algebra.Literal, *algebra.SourceQuery:
+		// Leaves. A SourceQuery's subplan is evaluated by the source, not
+		// here; cancellation reaches it through actx.Ctx.
+		return op.Eval(actx)
+	case *algebra.Bind:
+		if x.From == nil {
+			return op.Eval(actx) // document or parameter leaf
+		}
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Bind{From: lit(in), Col: x.Col, F: x.F}).Eval(actx)
+	case *algebra.Select:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Select{From: lit(in), Pred: x.Pred}).Eval(actx)
+	case *algebra.Project:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Project{From: lit(in), Cols: x.Cols}).Eval(actx)
+	case *algebra.MapExpr:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.MapExpr{From: lit(in), Col: x.Col, E: x.E}).Eval(actx)
+	case *algebra.Distinct:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Distinct{From: lit(in)}).Eval(actx)
+	case *algebra.Group:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Group{From: lit(in), Keys: x.Keys, Into: x.Into}).Eval(actx)
+	case *algebra.Sort:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Sort{From: lit(in), Cols: x.Cols}).Eval(actx)
+	case *algebra.TreeOp:
+		in, err := e.eval(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.TreeOp{From: lit(in), C: x.C, OutCol: x.OutCol}).Eval(actx)
+	case *algebra.Join:
+		l, r, err := e.evalPair(ctx, x.L, x.R, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Join{L: lit(l), R: lit(r), Pred: x.Pred}).Eval(actx)
+	case *algebra.Union:
+		l, r, err := e.evalPair(ctx, x.L, x.R, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Union{L: lit(l), R: lit(r)}).Eval(actx)
+	case *algebra.Intersect:
+		l, r, err := e.evalPair(ctx, x.L, x.R, actx)
+		if err != nil {
+			return nil, err
+		}
+		return (&algebra.Intersect{L: lit(l), R: lit(r)}).Eval(actx)
+	case *algebra.DJoin:
+		return e.evalDJoin(ctx, x, actx)
+	default:
+		return nil, fmt.Errorf("exec: unknown operator %T", op)
+	}
+}
+
+// evalPair evaluates two independent subplans, concurrently when a worker
+// is free. The right side forks; the left evaluates inline, so the caller's
+// goroutine is never idle. Serialized when both sides mint Skolem
+// identifiers (mint order is observable in the result).
+func (e *Engine) evalPair(ctx context.Context, l, r algebra.Op, actx *algebra.Context) (*tab.Tab, *tab.Tab, error) {
+	if e.opts.Parallelism > 1 && !(mintsSkolems(l) && mintsSkolems(r)) {
+		select {
+		case e.tokens <- struct{}{}:
+			rctx := actx.Fork()
+			var rt *tab.Tab
+			var rerr error
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				defer func() { <-e.tokens }()
+				rt, rerr = e.eval(ctx, r, rctx)
+			}()
+			lt, lerr := e.eval(ctx, l, actx)
+			<-done
+			actx.Stats.Add(*rctx.Stats)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			if rerr != nil {
+				return nil, nil, rerr
+			}
+			return lt, rt, nil
+		default:
+			// pool saturated: fall through to serial evaluation
+		}
+	}
+	lt, err := e.eval(ctx, l, actx)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := e.eval(ctx, r, actx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lt, rt, nil
+}
+
+// evalDJoin is the dependency join under fan-out: the inner plan evaluates
+// once per outer row with that row's columns bound as parameters. Rows are
+// dispatched with at most FanOut evaluations in flight; results are
+// collected per row and emitted in outer order, so the output equals the
+// serial DJoin's row for row.
+func (e *Engine) evalDJoin(ctx context.Context, x *algebra.DJoin, actx *algebra.Context) (*tab.Tab, error) {
+	l, err := e.eval(ctx, x.L, actx)
+	if err != nil {
+		return nil, err
+	}
+	out := tab.New(x.Columns()...)
+	evalRow := func(rctx *algebra.Context, lr tab.Row) (*tab.Tab, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		params := make(map[string]tab.Cell, len(l.Cols))
+		for i, c := range l.Cols {
+			params[c] = lr[i]
+		}
+		return e.eval(ctx, x.R, rctx.WithParams(params))
+	}
+
+	if e.opts.Parallelism <= 1 || len(l.Rows) <= 1 || mintsSkolems(x.R) {
+		// Serial path: also taken when the inner plan mints Skolem
+		// identifiers, whose mint order across rows is observable.
+		for _, lr := range l.Rows {
+			sub, err := evalRow(actx, lr)
+			if err != nil {
+				return nil, err
+			}
+			for _, rr := range sub.Rows {
+				out.AddRow(append(lr.Clone(), rr...))
+			}
+		}
+		return out, nil
+	}
+
+	subs := make([]*tab.Tab, len(l.Rows))
+	errs := make([]error, len(l.Rows))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var forked algebra.Stats
+	// local caps this DJoin's own fan-out below the global pool: at most
+	// FanOut-1 forked rows in flight (the inline row is the FanOut-th).
+	local := make(chan struct{}, e.opts.FanOut-1)
+	for i := range l.Rows {
+		i := i
+		forkable := false
+		select {
+		case local <- struct{}{}:
+			forkable = true
+		default:
+		}
+		if forkable {
+			select {
+			case e.tokens <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-e.tokens; <-local }()
+					rctx := actx.Fork()
+					subs[i], errs[i] = evalRow(rctx, l.Rows[i])
+					mu.Lock()
+					forked.Add(*rctx.Stats)
+					mu.Unlock()
+				}()
+				continue
+			default:
+				<-local // global pool saturated: give the slot back
+			}
+		}
+		// No free worker: evaluate this row inline. This both bounds the
+		// fan-out and keeps the dispatching goroutine productive.
+		subs[i], errs[i] = evalRow(actx, l.Rows[i])
+	}
+	wg.Wait()
+	actx.Stats.Add(forked)
+	for i, sub := range subs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for _, rr := range sub.Rows {
+			out.AddRow(append(l.Rows[i].Clone(), rr...))
+		}
+	}
+	return out, nil
+}
+
+// mintsSkolems reports whether evaluating the plan can mint Skolem
+// identifiers (only the Tree operator does). Minting draws numbers from the
+// context's shared registry in evaluation order, and those numbers appear
+// in the constructed trees — so two units that both mint must not run
+// concurrently if the engine is to reproduce serial output exactly. The
+// check descends into SourceQuery subplans too; that is conservative
+// (pushed plans evaluate at the source), never wrong.
+func mintsSkolems(op algebra.Op) bool {
+	found := false
+	algebra.Walk(op, func(o algebra.Op) bool {
+		if _, ok := o.(*algebra.TreeOp); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

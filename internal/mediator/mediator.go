@@ -6,12 +6,14 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/algebra"
 	"repro/internal/capability"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
 	"repro/internal/planlint"
@@ -360,6 +362,44 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 		NaivePlan: algebra.Describe(naive),
 		Plan:      algebra.Describe(opt),
 		Stats:     *ctx.Stats,
+	}, nil
+}
+
+// ExecOptions configure plan execution for ExecuteContext: Parallelism
+// bounds the worker pool (1 = serial, the exact behaviour of Query), FanOut
+// bounds one DJoin's in-flight sub-queries, Timeout is the per-query
+// deadline.
+type ExecOptions = exec.Options
+
+// ExecuteContext composes, optimizes and executes a YAT_L query on the
+// parallel execution engine of internal/exec, under a cancellation context
+// and the given execution options. With Parallelism=1 it returns exactly
+// what Query returns (the serial path stays available so experiment
+// baselines remain comparable); with Parallelism>1, independent subplans
+// and DJoin sub-queries evaluate concurrently, with identical result rows
+// and identical statistics.
+func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts ExecOptions) (*Result, error) {
+	naive, err := m.Compose(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := optimizer.New(m.optimizerOptions()).OptimizeChecked(naive)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.lintBeforeExec("optimized", opt); err != nil {
+		return nil, err
+	}
+	actx := m.newContext()
+	t, err := exec.New(opts).Run(ctx, opt, actx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tab:       t,
+		NaivePlan: algebra.Describe(naive),
+		Plan:      algebra.Describe(opt),
+		Stats:     *actx.Stats,
 	}, nil
 }
 

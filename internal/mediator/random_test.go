@@ -9,17 +9,12 @@ import (
 	"repro/internal/o2"
 )
 
-// TestRandomQueriesNaiveVsOptimized generates a family of YAT_L queries
+// randomArtworkQueries generates a deterministic family of n YAT_L queries
 // over the integrated artworks view — random field subsets, random
-// predicates, with and without optional-field navigation — and checks that
-// the optimized evaluation returns exactly the rows of the naive strategy.
-// This is the optimizer's end-to-end semantics-preservation property.
-func TestRandomQueriesNaiveVsOptimized(t *testing.T) {
-	w := datagen.Generate(datagen.DefaultParams(120))
-	m, _, _ := setup(t, w.DB, w.Works)
-	m.Assume("artifacts", "works", "$y > 1800")
-	m.Assume("persons", "works", "$y > 1800")
-
+// predicates, with and without optional-field navigation. The family is
+// shared by the optimizer's semantics-preservation test and the parallel
+// engine's determinism test.
+func randomArtworkQueries(n int) []string {
 	fields := []struct{ name, v string }{
 		{"title", "$t"}, {"artist", "$a"}, {"year", "$y"},
 		{"price", "$p"}, {"style", "$s"}, {"size", "$si"},
@@ -40,8 +35,8 @@ func TestRandomQueriesNaiveVsOptimized(t *testing.T) {
 		seed = seed*6364136223846793005 + 1442695040888963407
 		return int((seed >> 33) % uint64(n))
 	}
-	ran := 0
-	for i := 0; i < 40; i++ {
+	var queries []string
+	for i := 0; i < n; i++ {
 		// choose 1-4 fields, always including those the predicate needs
 		nf := 1 + next(4)
 		chosen := map[int]bool{}
@@ -85,7 +80,22 @@ func TestRandomQueriesNaiveVsOptimized(t *testing.T) {
 MATCH artworks WITH doc[ *%s ] %s`, workFilter, where)
 		// The MAKE references $t0; bind the first chosen field under it.
 		query = strings.Replace(query, "$t0", fields[firstKey(chosen)].v, -1)
+		queries = append(queries, query)
+	}
+	return queries
+}
 
+// TestRandomQueriesNaiveVsOptimized checks that for every generated query
+// the optimized evaluation returns exactly the rows of the naive strategy.
+// This is the optimizer's end-to-end semantics-preservation property.
+func TestRandomQueriesNaiveVsOptimized(t *testing.T) {
+	w := datagen.Generate(datagen.DefaultParams(120))
+	m, _, _ := setup(t, w.DB, w.Works)
+	m.Assume("artifacts", "works", "$y > 1800")
+	m.Assume("persons", "works", "$y > 1800")
+
+	queries := randomArtworkQueries(40)
+	for i, query := range queries {
 		naive, err := m.QueryNaive(query)
 		if err != nil {
 			t.Fatalf("query %d (naive): %v\n%s", i, err, query)
@@ -98,10 +108,9 @@ MATCH artworks WITH doc[ *%s ] %s`, workFilter, where)
 			t.Errorf("query %d: naive %d rows, optimized %d rows\n%s\nplan:\n%s",
 				i, naive.Tab.Len(), opt.Tab.Len(), query, opt.Plan)
 		}
-		ran++
 	}
-	if ran != 40 {
-		t.Fatalf("ran %d queries", ran)
+	if len(queries) != 40 {
+		t.Fatalf("generated %d queries", len(queries))
 	}
 }
 

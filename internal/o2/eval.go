@@ -23,9 +23,12 @@ func (db *DB) Execute(src string) (Val, error) {
 	return db.Run(q)
 }
 
-// Run evaluates a parsed query.
+// Run evaluates a parsed query. Concurrent Runs are safe: evaluation only
+// reads the schema, extents and indexes; the query counter is locked.
 func (db *DB) Run(q *Query) (Val, error) {
+	db.statsMu.Lock()
 	db.QueriesRun++
+	db.statsMu.Unlock()
 	var out []Val
 	env := oenv{}
 	err := db.iterate(q, q.Ranges, env, func() error {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // VKind discriminates runtime values.
@@ -412,8 +413,10 @@ type DB struct {
 	indexes map[string]map[string][]string
 	nextOID int
 	// QueriesRun counts executed OQL queries (observability for the
-	// experiments: how many queries a mediator pushed).
+	// experiments: how many queries a mediator pushed). Guarded by statsMu:
+	// a parallel mediator pushes queries from several workers at once.
 	QueriesRun int
+	statsMu    sync.Mutex
 }
 
 // NewDB returns an empty database over a schema.

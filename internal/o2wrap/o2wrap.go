@@ -9,6 +9,7 @@ package o2wrap
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/capability"
@@ -24,7 +25,17 @@ type Wrapper struct {
 	SourceNme string
 	// LastOQL records the text of the most recently pushed OQL query
 	// (observability: tests and examples print it, as the paper does).
+	// Writes are serialized by lastMu so concurrent pushes do not race;
+	// read it only after the pushes of interest have completed.
 	LastOQL string
+	lastMu  sync.Mutex
+}
+
+// setLastOQL records the most recent pushed query under its lock.
+func (w *Wrapper) setLastOQL(q string) {
+	w.lastMu.Lock()
+	w.LastOQL = q
+	w.lastMu.Unlock()
 }
 
 // New returns a wrapper over db, named after the source (e.g. "o2artifact").

@@ -37,7 +37,7 @@ func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, e
 		aliases[i] = fmt.Sprintf("c%d", i)
 		q.Proj = append(q.Proj, o2.ProjItem{Name: aliases[i], E: vb.path})
 	}
-	w.LastOQL = q.String()
+	w.setLastOQL(q.String())
 	res, err := w.DB.Run(q)
 	if err != nil {
 		return nil, fmt.Errorf("o2wrap: %w", err)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/data"
 )
@@ -29,7 +30,16 @@ type Engine struct {
 	queryable   map[string]bool
 	retrievable map[string]bool
 	// SearchesRun counts executed searches (observability for experiments).
+	// Guarded by statsMu: a parallel mediator runs searches concurrently.
 	SearchesRun int
+	statsMu     sync.Mutex
+}
+
+// countSearch bumps the search counter under its lock.
+func (e *Engine) countSearch() {
+	e.statsMu.Lock()
+	e.SearchesRun++
+	e.statsMu.Unlock()
 }
 
 // New returns an empty engine.
@@ -209,7 +219,7 @@ func (e *Engine) Retrieve(id int) *data.Node {
 // full-text search), sorted by document number. It implements the contains
 // predicate of Section 4.2.
 func (e *Engine) Search(text string) []int {
-	e.SearchesRun++
+	e.countSearch()
 	terms := Tokenize(text)
 	if len(terms) == 0 {
 		return nil
@@ -229,7 +239,7 @@ func (e *Engine) SearchField(field, text string) ([]int, error) {
 	if !e.Queryable(field) {
 		return nil, fmt.Errorf("wais: field %q is not queryable", field)
 	}
-	e.SearchesRun++
+	e.countSearch()
 	m := e.fieldIndex[field]
 	terms := Tokenize(text)
 	if len(terms) == 0 || m == nil {

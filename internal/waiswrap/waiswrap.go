@@ -9,6 +9,7 @@ package waiswrap
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/capability"
@@ -24,8 +25,11 @@ type Wrapper struct {
 	E         *wais.Engine
 	SourceNme string
 	// LastSearch records the text of the most recent pushed full-text
-	// search (observability for tests and examples).
+	// search (observability for tests and examples). Writes are serialized
+	// by lastMu so concurrent pushes do not race; read it only after the
+	// pushes of interest have completed.
 	LastSearch string
+	lastMu     sync.Mutex
 }
 
 // New returns a wrapper over the engine.
@@ -190,7 +194,9 @@ func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, e
 		for _, s := range searches[1:] {
 			ids = wais.And(ids, w.E.Search(s))
 		}
+		w.lastMu.Lock()
 		w.LastSearch = strings.Join(searches, " AND ")
+		w.lastMu.Unlock()
 	}
 	outCols := plan.Columns()
 	out := tab.New(outCols...)

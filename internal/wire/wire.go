@@ -18,11 +18,14 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/capability"
@@ -35,6 +38,20 @@ import (
 // MaxFrame bounds a single message (16 MiB); larger frames abort the
 // connection rather than exhausting memory.
 const MaxFrame = 16 << 20
+
+// DefaultIdleTimeout bounds how long a server connection may sit between
+// requests: a stalled or vanished client is disconnected instead of pinning
+// its handler goroutine (and its slot in the accept loop's wait group)
+// forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// DefaultWriteTimeout bounds writing one response frame to a client that
+// has stopped reading.
+const DefaultWriteTimeout = 30 * time.Second
+
+// DefaultMaxConns bounds the connection pool a Client grows on demand when
+// the parallel execution engine issues overlapping requests.
+const DefaultMaxConns = 8
 
 // WriteFrame writes one length-prefixed XML payload.
 func WriteFrame(w io.Writer, payload string) error {
@@ -84,17 +101,27 @@ type StructureRef struct {
 
 // Server serves one wrapper over a listener.
 type Server struct {
-	Exp Exported
-	ln  net.Listener
-	wg  sync.WaitGroup
-	mu  sync.Mutex
-	err error
+	Exp   Exported
+	ln    net.Listener
+	idle  time.Duration
+	write time.Duration
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	err   error
 }
 
-// Serve starts serving on the listener and returns immediately; call Close
-// to stop. Each connection handles a sequence of requests.
+// Serve starts serving on the listener with the default idle and write
+// deadlines and returns immediately; call Close to stop. Each connection
+// handles a sequence of requests.
 func Serve(ln net.Listener, exp Exported) *Server {
-	s := &Server{Exp: exp, ln: ln}
+	return ServeWith(ln, exp, DefaultIdleTimeout, DefaultWriteTimeout)
+}
+
+// ServeWith is Serve with explicit connection deadlines: idle bounds the
+// wait for the next request on a connection, write bounds sending one
+// response. A zero duration disables the corresponding deadline.
+func ServeWith(ln net.Listener, exp Exported, idle, write time.Duration) *Server {
+	s := &Server{Exp: exp, ln: ln, idle: idle, write: write}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -125,11 +152,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 func (s *Server) handle(conn net.Conn) {
 	for {
+		if s.idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
 		req, err := ReadFrame(conn)
 		if err != nil {
-			return // connection closed
+			return // connection closed or idle too long
 		}
 		resp := s.respond(req)
+		if s.write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.write))
+		}
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
@@ -234,24 +267,44 @@ func firstElem(n *data.Node) *data.Node {
 }
 
 // Client is the mediator-side proxy for a remote wrapper; it implements
-// algebra.Source over one TCP connection (requests are serialized).
+// algebra.Source (and algebra.ContextSource) over a small pool of TCP
+// connections. A serial caller reuses one connection; the parallel
+// execution engine's overlapping requests grow the pool on demand up to its
+// bound, so concurrent DJoin pushes really overlap at the wrapper instead
+// of serializing on a single socket.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	addr string
 	name string
 	docs []string
+
+	// tokens bounds in-flight requests: one token is held per request.
+	tokens chan struct{}
+	// idle parks connections between requests for reuse.
+	idle chan net.Conn
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool // every live connection, for Close
+	closed bool
 }
 
-// Dial connects to a wrapper and performs the hello exchange.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Dial connects to a wrapper with the default pool bound and performs the
+// hello exchange.
+func Dial(addr string) (*Client, error) { return DialPool(addr, DefaultMaxConns) }
+
+// DialPool is Dial with an explicit connection-pool bound (minimum 1).
+func DialPool(addr string, maxConns int) (*Client, error) {
+	if maxConns < 1 {
+		maxConns = 1
 	}
-	c := &Client{conn: conn}
+	c := &Client{
+		addr:   addr,
+		tokens: make(chan struct{}, maxConns),
+		idle:   make(chan net.Conn, maxConns),
+		conns:  map[net.Conn]bool{},
+	}
 	resp, err := c.roundTrip(`<hello/>`)
 	if err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
 	c.name = attr(resp, "name")
@@ -259,6 +312,61 @@ func Dial(addr string) (*Client, error) {
 		c.docs = splitSpace(d)
 	}
 	return c, nil
+}
+
+// acquire obtains a connection for one request: it waits for an in-flight
+// slot (or context cancellation), then reuses an idle connection or dials a
+// new one.
+func (c *Client) acquire(ctx context.Context) (net.Conn, error) {
+	select {
+	case c.tokens <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case conn := <-c.idle:
+		return conn, nil
+	default:
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		<-c.tokens
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		<-c.tokens
+		return nil, fmt.Errorf("wire: client closed")
+	}
+	c.conns[conn] = true
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// release parks a healthy connection for reuse and frees its slot.
+func (c *Client) release(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	select {
+	case c.idle <- conn:
+	default: // cannot happen: idle capacity equals the slot count
+		c.drop(conn)
+	}
+	<-c.tokens
+}
+
+// discard closes a connection whose request failed and frees its slot.
+func (c *Client) discard(conn net.Conn) {
+	c.drop(conn)
+	<-c.tokens
+}
+
+func (c *Client) drop(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
 }
 
 func splitSpace(s string) []string {
@@ -277,19 +385,77 @@ func splitSpace(s string) []string {
 	return out
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes every pooled connection; in-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	var err error
+	for conn := range c.conns {
+		if e := conn.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	c.conns = map[net.Conn]bool{}
+	c.mu.Unlock()
+	for {
+		select {
+		case <-c.idle: // already closed above; just unpark
+		default:
+			return err
+		}
+	}
+}
 
 func (c *Client) roundTrip(req string) (*data.Node, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, req); err != nil {
-		return nil, err
-	}
-	resp, err := ReadFrame(c.conn)
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx performs one request/response exchange under a cancellation
+// context: the context's deadline becomes the connection deadline, and a
+// cancellation unblocks any pending read immediately, so a dead wrapper
+// cannot hang a query.
+func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, error) {
+	conn, err := c.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Unix(1, 0)) // in the past: fail pending I/O now
+			case <-watchDone:
+			}
+		}()
+	}
+	var resp string
+	if err = WriteFrame(conn, req); err == nil {
+		resp, err = ReadFrame(conn)
+	}
+	close(watchDone)
+	if err == nil && ctx.Err() != nil {
+		// The exchange raced a cancellation; the watchdog may have poisoned
+		// the connection's deadline, so don't reuse it.
+		err = ctx.Err()
+	}
+	if err != nil {
+		c.discard(conn)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		// The connection deadline came from the context; it can fire a tick
+		// before the context's own timer does.
+		var ne net.Error
+		if _, hasDeadline := ctx.Deadline(); hasDeadline && errors.As(err, &ne) && ne.Timeout() {
+			return nil, context.DeadlineExceeded
+		}
+		return nil, err
+	}
+	c.release(conn)
 	n, err := xmlenc.Parse(resp)
 	if err != nil {
 		return nil, err
@@ -308,9 +474,15 @@ func (c *Client) Documents() []string { return append([]string(nil), c.docs...) 
 
 // Fetch implements algebra.Source.
 func (c *Client) Fetch(doc string) (data.Forest, error) {
+	return c.FetchContext(context.Background(), doc)
+}
+
+// FetchContext implements algebra.ContextSource: Fetch under a cancellation
+// context.
+func (c *Client) FetchContext(ctx context.Context, doc string) (data.Forest, error) {
 	req := data.Elem("fetch")
 	req.Add(data.Text("@doc", doc))
-	resp, err := c.roundTrip(xmlenc.Serialize(req))
+	resp, err := c.roundTripCtx(ctx, xmlenc.Serialize(req))
 	if err != nil {
 		return nil, err
 	}
@@ -329,6 +501,12 @@ func (c *Client) Fetch(doc string) (data.Forest, error) {
 
 // Push implements algebra.Source.
 func (c *Client) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	return c.PushContext(context.Background(), plan, params)
+}
+
+// PushContext implements algebra.ContextSource: Push under a cancellation
+// context.
+func (c *Client) PushContext(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
 	planXML, err := algebra.PlanToXML(plan)
 	if err != nil {
 		return nil, err
@@ -347,7 +525,7 @@ func (c *Client) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, er
 		pt.AddRow(row)
 		req.Add(data.Elem("params", tab.ToXML(pt)))
 	}
-	resp, err := c.roundTrip(xmlenc.Serialize(req))
+	resp, err := c.roundTripCtx(ctx, xmlenc.Serialize(req))
 	if err != nil {
 		return nil, err
 	}

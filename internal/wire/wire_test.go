@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/datagen"
@@ -248,6 +249,39 @@ func TestServerRejectsGarbage(t *testing.T) {
 	resp, err = ReadFrame(conn)
 	if err != nil || !strings.Contains(resp, "unknown request") {
 		t.Errorf("resp = %q, %v", resp, err)
+	}
+}
+
+func TestServerIdleTimeoutDisconnects(t *testing.T) {
+	// A client that connects and then goes silent must be disconnected when
+	// the idle deadline passes, not pin its handler goroutine forever.
+	ow := o2wrap.New("o2artifact", datagen.PaperDB())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeWith(ln, Exported{Source: ow}, 100*time.Millisecond, time.Second)
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// An active connection keeps working within the idle window.
+	if err := WriteFrame(conn, "<hello/>"); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := ReadFrame(conn); err != nil || !strings.Contains(resp, "o2artifact") {
+		t.Fatalf("hello over short-idle server: %q, %v", resp, err)
+	}
+	// Now stall: the server must hang up on us.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := ReadFrame(conn); err == nil {
+		t.Fatal("stalled connection was not disconnected")
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("disconnect took %v: idle deadline did not fire", elapsed)
 	}
 }
 
