@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke
+.PHONY: check build vet test lint bench bench-smoke bench-json
 
 check: build vet test lint bench-smoke
 
@@ -23,3 +23,8 @@ bench:
 # the result-equality assertions inside them) without paying for a full run.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
+
+# Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs cached) for
+# CI trend tracking; asserts row equality across all variants as it runs.
+bench-json:
+	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR3.json

@@ -315,6 +315,29 @@ func (s *delaySource) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Ta
 	return s.Source.Push(plan, params)
 }
 
+// PushBatch pays the latency once for the whole batch — a batched push is one
+// round trip (Section 5.3's cost model); the per-binding evaluation itself is
+// local work at the wrapper.
+func (s *delaySource) PushBatch(plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	return s.PushBatchContext(context.Background(), plan, bindings)
+}
+
+func (s *delaySource) PushBatchContext(ctx context.Context, plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	time.Sleep(s.d)
+	if bs, ok := s.Source.(algebra.BatchSource); ok {
+		return bs.PushBatchContext(ctx, plan, bindings)
+	}
+	out := make([]*tab.Tab, len(bindings))
+	for i, bd := range bindings {
+		t, err := s.Source.Push(plan, bd)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
 // wireMediator deploys the Figure 2 scenario over real TCP with the given
 // per-request source latency and returns a mediator whose sources are wire
 // clients.
@@ -411,6 +434,96 @@ func BenchmarkFig9Q2Parallel(b *testing.B) {
 			b.ReportMetric(float64(serial.Stats.SourcePushes), "pushes")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// E16 — set-at-a-time information passing: batched DJoin pushdown + cache
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig9Q2Batched compares Q2's pushdown DJoin under per-row
+// information passing (one wire round trip per outer row), batched pushes
+// (the plan ships once per chunk of distinct binding sets), and a warm
+// wrapper-result cache (no round trips at all). Rows must be byte-identical
+// and ordered across all paths; the batched path must cut round trips
+// (Stats.SourcePushes) by at least 5×.
+func BenchmarkFig9Q2Batched(b *testing.B) {
+	const latency = 2 * time.Millisecond
+	w := datagen.Generate(datagen.DefaultParams(1000))
+	m := wireMediator(b, w, latency)
+	ctx := context.Background()
+
+	perRowOpts := mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}
+	perRow, err := m.ExecuteContext(ctx, Q2, perRowOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batchOpts := mediator.ExecOptions{Parallelism: 1}
+	batched, err := m.ExecuteContext(ctx, Q2, batchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !perRow.Tab.Equal(batched.Tab) {
+		b.Fatalf("batched rows diverge from per-row:\n%s\nvs\n%s", batched.Tab, perRow.Tab)
+	}
+	if perRow.Stats.SourcePushes < 5*batched.Stats.SourcePushes {
+		b.Fatalf("batching saves too little: per-row %d pushes, batched %d",
+			perRow.Stats.SourcePushes, batched.Stats.SourcePushes)
+	}
+	parOpts := mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}
+	par, err := m.ExecuteContext(ctx, Q2, parOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !par.Tab.Equal(batched.Tab) || par.Stats.SourcePushes != batched.Stats.SourcePushes {
+		b.Fatalf("parallel batched diverges: %d vs %d pushes", par.Stats.SourcePushes, batched.Stats.SourcePushes)
+	}
+
+	cases := []struct {
+		name   string
+		opts   mediator.ExecOptions
+		pushes int
+	}{
+		{"PerRow", perRowOpts, perRow.Stats.SourcePushes},
+		{"Batched", batchOpts, batched.Stats.SourcePushes},
+		{"Batched/workers=4", parOpts, par.Stats.SourcePushes},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ExecuteContext(ctx, Q2, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.pushes), "pushes")
+		})
+	}
+
+	// Warm cache last: once installed it persists in the mediator.
+	warmOpts := mediator.ExecOptions{Parallelism: 1, CacheSize: 1024}
+	if _, err := m.ExecuteContext(ctx, Q2, warmOpts); err != nil {
+		b.Fatal(err) // cold run fills the cache
+	}
+	warm, err := m.ExecuteContext(ctx, Q2, warmOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !warm.Tab.Equal(batched.Tab) {
+		b.Fatalf("warm-cache rows diverge")
+	}
+	if warm.Stats.CacheHits == 0 || warm.Stats.SourcePushes != 0 {
+		b.Fatalf("warm cache: hits=%d pushes=%d, want >0 and 0", warm.Stats.CacheHits, warm.Stats.SourcePushes)
+	}
+	b.Run("WarmCache", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteContext(ctx, Q2, warmOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(warm.Stats.CacheHits), "cache-hits")
+		b.ReportMetric(0, "pushes")
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,18 +1,25 @@
 // Command yat-experiments regenerates every table of EXPERIMENTS.md: the
 // per-figure experiments (F7, F8, F9), the transfer sweep (E10), the
 // information-passing crossover (E11), the source-index ablation (E12),
-// the optimizer-round ablation (E13) and the parallel-engine worker sweep
-// (E15, over live TCP wrappers). Each table reports measured wall
-// time, shipped bytes/tuples and source calls; correctness is asserted
-// against the generator's ground truth on every run.
+// the optimizer-round ablation (E13), the parallel-engine worker sweep
+// (E15, over live TCP wrappers) and the batched-pushdown/cache sweep (E16).
+// Each table reports measured wall time, shipped bytes/tuples and source
+// calls; correctness is asserted against the generator's ground truth on
+// every run.
 //
 // Usage:
 //
 //	yat-experiments [-quick]
+//	yat-experiments -bench-json BENCH_PR3.json
+//
+// With -bench-json, only the Fig. 9 Q2 measurements run (per-row, batched,
+// parallel, warm cache) and the results are written as JSON for CI trend
+// tracking instead of the human-readable tables.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -33,7 +40,19 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes, fewer repetitions")
+	benchOut := flag.String("bench-json", "", "write Fig. 9 Q2 benchmark results as JSON to this file and exit")
 	flag.Parse()
+	if *benchOut != "" {
+		n := 1000
+		if *quick {
+			n = 200
+		}
+		if err := benchJSON(*benchOut, n); err != nil {
+			fmt.Fprintf(os.Stderr, "yat-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	sizes := []int{250, 1000, 4000}
 	sweep := []int{250, 500, 1000, 2000, 4000}
 	if *quick {
@@ -71,6 +90,9 @@ func run(sizes, sweep []int) error {
 		return err
 	}
 	if err := e15(sizes[len(sizes)-2]); err != nil {
+		return err
+	}
+	if err := e16(sizes[len(sizes)-2]); err != nil {
 		return err
 	}
 	return nil
@@ -401,13 +423,33 @@ func (s *delaySource) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Ta
 	return s.Source.Push(plan, params)
 }
 
-// e15 sweeps the parallel execution engine's worker count on Q2's pushdown
-// plan against wire wrappers with a simulated 2ms service latency: serial
-// evaluation pays one round trip per DJoin outer row, the engine overlaps
-// up to `workers` of them. Rows and push counts are asserted identical to
-// serial at every point.
-func e15(n int) error {
-	const latency = 2 * time.Millisecond
+// PushBatch pays the latency once per batch — a batched push is a single
+// round trip in the Section 5.3 cost model; the per-binding evaluation is
+// local work at the wrapper.
+func (s *delaySource) PushBatch(plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	return s.PushBatchContext(context.Background(), plan, bindings)
+}
+
+func (s *delaySource) PushBatchContext(ctx context.Context, plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	time.Sleep(s.d)
+	if bs, ok := s.Source.(algebra.BatchSource); ok {
+		return bs.PushBatchContext(ctx, plan, bindings)
+	}
+	out := make([]*tab.Tab, len(bindings))
+	for i, b := range bindings {
+		t, err := s.Source.Push(plan, b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// wireDeploy stands up the Figure 2 scenario over real TCP — both wrappers
+// behind wire servers with the given per-round-trip latency — and returns a
+// mediator connected through wire clients plus a teardown function.
+func wireDeploy(n int, latency time.Duration) (*mediator.Mediator, *datagen.Workload, func(), error) {
 	w := datagen.Generate(datagen.DefaultParams(n))
 	ow := o2wrap.New("o2artifact", w.DB)
 	schema := ow.ExportSchema()
@@ -424,28 +466,39 @@ func e15(n int) error {
 			}},
 	}
 	m := mediator.New()
+	var closers []func()
+	teardown := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
 	for _, exp := range exps {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return err
+			teardown()
+			return nil, nil, nil, err
 		}
 		srv := wire.Serve(ln, exp)
-		defer srv.Close()
+		closers = append(closers, srv.Close)
 		c, err := wire.Dial(srv.Addr())
 		if err != nil {
-			return err
+			teardown()
+			return nil, nil, nil, err
 		}
-		defer c.Close()
+		closers = append(closers, func() { c.Close() })
 		iface, err := c.ImportInterface()
 		if err != nil {
-			return err
+			teardown()
+			return nil, nil, nil, err
 		}
 		if err := m.Connect(c, iface); err != nil {
-			return err
+			teardown()
+			return nil, nil, nil, err
 		}
 		sts, err := c.ImportStructures()
 		if err != nil {
-			return err
+			teardown()
+			return nil, nil, nil, err
 		}
 		for doc, ref := range sts {
 			m.ImportStructure(doc, ref.Model, ref.Pattern)
@@ -453,15 +506,32 @@ func e15(n int) error {
 	}
 	m.RegisterFunc("contains", waiswrap.Contains)
 	if err := m.LoadProgram(datagen.View1Src); err != nil {
-		return err
+		teardown()
+		return nil, nil, nil, err
 	}
 	m.Assume("artifacts", "works", "$y > 1800")
 	m.Assume("persons", "works", "$y > 1800")
+	return m, w, teardown, nil
+}
 
-	printHead(fmt.Sprintf("E15: parallel engine on Q2 over wire, %v source latency (artifacts=%d)", latency, n))
+// e15 sweeps the parallel execution engine's worker count on Q2's pushdown
+// plan against wire wrappers with a simulated 2ms service latency. Per-row
+// information passing is forced (PerRowDJoin) so the experiment keeps
+// measuring what it always measured — the engine overlapping one round trip
+// per DJoin outer row; E16 measures what batching saves on top. Rows and
+// push counts are asserted identical to serial at every point.
+func e15(n int) error {
+	const latency = 2 * time.Millisecond
+	m, w, teardown, err := wireDeploy(n, latency)
+	if err != nil {
+		return err
+	}
+	defer teardown()
+
+	printHead(fmt.Sprintf("E15: parallel engine on Q2 over wire, per-row passing, %v source latency (artifacts=%d)", latency, n))
 	var serial *mediator.Result
 	for _, workers := range []int{1, 2, 4, 8} {
-		opts := mediator.ExecOptions{Parallelism: workers, Timeout: time.Minute}
+		opts := mediator.ExecOptions{Parallelism: workers, Timeout: time.Minute, PerRowDJoin: true}
 		res, d, err := med(func() (*mediator.Result, error) {
 			return m.ExecuteContext(context.Background(), datagen.Q2Src, opts)
 		})
@@ -478,5 +548,151 @@ func e15(n int) error {
 	if serial.Tab.Len() != len(w.Q2Titles) {
 		return fmt.Errorf("E15 correctness check failed")
 	}
+	return nil
+}
+
+// e16 measures set-at-a-time information passing on Q2 over the same wire
+// deployment as E15: per-row pushes (batch size 1) versus batched pushes at
+// chunk sizes 8 and 64, cold versus warm wrapper-result cache. Every variant
+// is asserted row-identical to the per-row baseline.
+func e16(n int) error {
+	const latency = 2 * time.Millisecond
+	m, w, teardown, err := wireDeploy(n, latency)
+	if err != nil {
+		return err
+	}
+	defer teardown()
+
+	printHead(fmt.Sprintf("E16: batched DJoin pushdown on Q2 over wire, %v source latency (artifacts=%d)", latency, n))
+	baseline, d, err := med(func() (*mediator.Result, error) {
+		return m.ExecuteContext(context.Background(), datagen.Q2Src,
+			mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true})
+	})
+	if err != nil {
+		return err
+	}
+	printRow("batch=1 (per row)", baseline, d)
+	if baseline.Tab.Len() != len(w.Q2Titles) {
+		return fmt.Errorf("E16 correctness check failed")
+	}
+	for _, chunk := range []int{8, 64} {
+		res, d, err := med(func() (*mediator.Result, error) {
+			return m.ExecuteContext(context.Background(), datagen.Q2Src,
+				mediator.ExecOptions{Parallelism: 1, BatchChunk: chunk})
+		})
+		if err != nil {
+			return err
+		}
+		printRow(fmt.Sprintf("batch=%d", chunk), res, d)
+		if !res.Tab.Equal(baseline.Tab) {
+			return fmt.Errorf("E16: batch=%d diverges from per-row rows", chunk)
+		}
+	}
+	// Cold fills the mediator's result cache, warm reruns against it.
+	cold, d, err := med(func() (*mediator.Result, error) {
+		return m.ExecuteContext(context.Background(), datagen.Q2Src,
+			mediator.ExecOptions{Parallelism: 1, CacheSize: 4096})
+	})
+	if err != nil {
+		return err
+	}
+	printRow("batch=64, cache cold", cold, d)
+	warm, d, err := med(func() (*mediator.Result, error) {
+		return m.ExecuteContext(context.Background(), datagen.Q2Src,
+			mediator.ExecOptions{Parallelism: 1, CacheSize: 4096})
+	})
+	if err != nil {
+		return err
+	}
+	printRow("batch=64, cache warm", warm, d)
+	if !warm.Tab.Equal(baseline.Tab) {
+		return fmt.Errorf("E16: warm-cache rows diverge")
+	}
+	if warm.Stats.CacheHits == 0 || warm.Stats.SourcePushes != 0 {
+		return fmt.Errorf("E16: warm cache hits=%d pushes=%d, want >0 and 0",
+			warm.Stats.CacheHits, warm.Stats.SourcePushes)
+	}
+	fmt.Printf("   warm cache: hits=%d misses=%d (cold run: misses=%d)\n",
+		warm.Stats.CacheHits, warm.Stats.CacheMisses, cold.Stats.CacheMisses)
+	return nil
+}
+
+// benchRecord is one -bench-json measurement of Q2 over the wire deployment.
+type benchRecord struct {
+	Name      string  `json:"name"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	Pushes    int     `json:"source_pushes"`
+	CacheHits int     `json:"cache_hits"`
+	Rows      int     `json:"rows"`
+	Speedup   float64 `json:"speedup_vs_per_row"`
+}
+
+// benchJSON runs the Fig. 9 Q2 variants (per-row serial and parallel,
+// batched serial and parallel, warm cache) over the wire deployment and
+// writes machine-readable results — the CI artifact BENCH_PR3.json.
+func benchJSON(path string, n int) error {
+	const latency = 2 * time.Millisecond
+	m, _, teardown, err := wireDeploy(n, latency)
+	if err != nil {
+		return err
+	}
+	defer teardown()
+
+	variants := []struct {
+		name string
+		opts mediator.ExecOptions
+	}{
+		{"q2_per_row_serial", mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}},
+		{"q2_per_row_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute, PerRowDJoin: true}},
+		{"q2_batched_serial", mediator.ExecOptions{Parallelism: 1}},
+		{"q2_batched_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+		{"q2_warm_cache", mediator.ExecOptions{Parallelism: 1, CacheSize: 4096}},
+	}
+	var records []benchRecord
+	var baseline *mediator.Result
+	var baselineNs int64
+	for _, v := range variants {
+		// The warm-cache variant measures its second run; the first fills
+		// the cache.
+		res, d, err := med(func() (*mediator.Result, error) {
+			return m.ExecuteContext(context.Background(), datagen.Q2Src, v.opts)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		if v.opts.CacheSize > 0 {
+			if res, d, err = med(func() (*mediator.Result, error) {
+				return m.ExecuteContext(context.Background(), datagen.Q2Src, v.opts)
+			}); err != nil {
+				return fmt.Errorf("%s: %w", v.name, err)
+			}
+		}
+		if baseline == nil {
+			baseline, baselineNs = res, d.Nanoseconds()
+		} else if !res.Tab.Equal(baseline.Tab) {
+			return fmt.Errorf("%s: rows diverge from per-row baseline", v.name)
+		}
+		records = append(records, benchRecord{
+			Name:      v.name,
+			NsPerOp:   d.Nanoseconds(),
+			Pushes:    res.Stats.SourcePushes,
+			CacheHits: res.Stats.CacheHits,
+			Rows:      res.Tab.Len(),
+			Speedup:   float64(baselineNs) / float64(maxI64(d.Nanoseconds(), 1)),
+		})
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"experiment": "fig9_q2_batched_pushdown",
+		"artifacts":  n,
+		"latency_ms": latency.Milliseconds(),
+		"results":    records,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d variants, artifacts=%d)\n", path, len(records), n)
 	return nil
 }

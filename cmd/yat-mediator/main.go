@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	yat-mediator [-script session.txt] [-lint] [-parallel N] [-timeout D]
+//	yat-mediator [-script session.txt] [-lint] [-parallel N] [-timeout D] [-cache N]
 //
 // With -lint, every plan is verified by the planlint static checker after
 // each optimizer rewriting step and before execution; a broken invariant
@@ -15,6 +15,12 @@
 // concurrently (result rows and statistics are identical to serial
 // execution). -timeout bounds each query's wall-clock time; an expired
 // deadline cancels in-flight wrapper requests instead of hanging.
+//
+// With -cache N > 0, the mediator keeps an N-entry LRU cache of wrapper
+// results keyed by (source, plan, parameter bindings): repeated pushes of the
+// same sub-query — within one query's DJoin or across queries of a session —
+// are answered locally without a wrapper round trip. The cache assumes
+// sources do not change underneath the session.
 //
 // The console reads commands from stdin:
 //
@@ -49,6 +55,7 @@ func main() {
 	lint := flag.Bool("lint", false, "verify plan invariants after every rewrite and before execution")
 	parallel := flag.Int("parallel", 1, "execution workers per query (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
+	cache := flag.Int("cache", 0, "wrapper-result cache entries (0 = no caching)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -63,7 +70,7 @@ func main() {
 	}
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
-	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout}
+	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout, CacheSize: *cache}
 	if err := repl(in, os.Stdout, *lint, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
@@ -244,6 +251,10 @@ func printResult(out io.Writer, res *mediator.Result) {
 	fmt.Fprintf(out, " %d rows (fetches=%d pushes=%d tuples=%d bytes=%d)\n",
 		res.Tab.Len(), res.Stats.SourceFetches, res.Stats.SourcePushes,
 		res.Stats.TuplesShipped, res.Stats.BytesShipped)
+	if res.Stats.CacheHits > 0 || res.Stats.CacheMisses > 0 {
+		fmt.Fprintf(out, " cache: hits=%d misses=%d evictions=%d\n",
+			res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.CacheEvictions)
+	}
 }
 
 func indent(s string) string {

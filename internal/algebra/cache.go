@@ -1,0 +1,118 @@
+package algebra
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/tab"
+)
+
+// ResultCache is a bounded, thread-safe LRU cache of wrapper results. The
+// mediator installs one shared instance so repeated pushes of the same
+// subplan under the same parameter bindings — across the rows of one DJoin
+// or across whole queries — are answered locally instead of paying another
+// source round trip. Keys combine the source name, the canonical plan
+// encoding and the binding values (see CacheKey); cached tabs are shared,
+// never copied, relying on the repo-wide convention that result rows are
+// treated as immutable.
+//
+// The cache assumes quiescent sources (the paper's read-only integration
+// scenario): it has no invalidation beyond LRU eviction.
+type ResultCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheSlot struct {
+	key string
+	t   *tab.Tab
+}
+
+// NewResultCache returns a cache bounded to the given number of entries;
+// a bound below 1 disables caching (nil is returned, and a nil *ResultCache
+// is safe to use everywhere).
+func NewResultCache(entries int) *ResultCache {
+	if entries < 1 {
+		return nil
+	}
+	return &ResultCache{cap: entries, lru: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *ResultCache) Get(key string) (*tab.Tab, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheSlot).t, true
+}
+
+// Put stores a result under key, reporting whether an older entry was
+// evicted to make room.
+func (c *ResultCache) Put(key string, t *tab.Tab) (evicted bool) {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheSlot).t = t
+		c.lru.MoveToFront(el)
+		return false
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheSlot{key: key, t: t})
+	if c.lru.Len() <= c.cap {
+		return false
+	}
+	oldest := c.lru.Back()
+	c.lru.Remove(oldest)
+	delete(c.byKey, oldest.Value.(*cacheSlot).key)
+	return true
+}
+
+// Len reports the number of cached entries.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// CacheKey builds a cache key from a source name, a canonical plan encoding
+// and a parameter-binding fragment (see ParamsKey). The components are
+// length-separated by construction: source names contain no NUL and the
+// plan encoding is XML.
+func CacheKey(source, planEnc, paramsKey string) string {
+	return source + "\x00" + planEnc + "\x00" + paramsKey
+}
+
+// ParamsKey renders the values of the given variables (the plan's free
+// variables, sorted) under the binding lookup as a canonical fragment for
+// CacheKey. Absent variables are skipped — by construction a variable is
+// either bound for every row of a DJoin batch or for none, so absence never
+// aliases a binding.
+func ParamsKey(vars []string, params map[string]tab.Cell) string {
+	var b strings.Builder
+	for _, v := range vars {
+		c, ok := params[v]
+		if !ok {
+			continue
+		}
+		b.WriteString(v)
+		b.WriteByte('=')
+		b.WriteString(c.Key())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

@@ -107,11 +107,14 @@ func TestBuiltinIDFunction(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{SourceFetches: 1, SourcePushes: 2, TuplesShipped: 3, BytesShipped: 4, FuncCalls: 5, BindRows: 6}
-	b := Stats{SourceFetches: 10, SourcePushes: 20, TuplesShipped: 30, BytesShipped: 40, FuncCalls: 50, BindRows: 60}
+	a := Stats{SourceFetches: 1, SourcePushes: 2, TuplesShipped: 3, BytesShipped: 4, FuncCalls: 5, BindRows: 6,
+		CacheHits: 7, CacheMisses: 8, CacheEvictions: 9}
+	b := Stats{SourceFetches: 10, SourcePushes: 20, TuplesShipped: 30, BytesShipped: 40, FuncCalls: 50, BindRows: 60,
+		CacheHits: 70, CacheMisses: 80, CacheEvictions: 90}
 	a.Add(b)
 	if a.SourceFetches != 11 || a.SourcePushes != 22 || a.TuplesShipped != 33 ||
-		a.BytesShipped != 44 || a.FuncCalls != 55 || a.BindRows != 66 {
+		a.BytesShipped != 44 || a.FuncCalls != 55 || a.BindRows != 66 ||
+		a.CacheHits != 77 || a.CacheMisses != 88 || a.CacheEvictions != 99 {
 		t.Errorf("Stats.Add = %+v", a)
 	}
 }

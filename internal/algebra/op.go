@@ -47,11 +47,15 @@ type ContextSource interface {
 // experiments of EXPERIMENTS.md report these counters.
 type Stats struct {
 	SourceFetches int   // whole documents shipped to the mediator
-	SourcePushes  int   // pushed subplan executions
+	SourcePushes  int   // push requests issued to sources (a batched push counts once)
 	TuplesShipped int   // rows returned by sources
 	BytesShipped  int64 // approximate serialized volume received from sources
 	FuncCalls     int   // external predicate/method invocations
 	BindRows      int   // rows produced by mediator-side Bind operations
+
+	CacheHits      int // pushes answered by the wrapper-result cache
+	CacheMisses    int // cache probes that went to the source
+	CacheEvictions int // entries displaced by the cache's LRU bound
 }
 
 // Add accumulates s2 into s.
@@ -62,6 +66,9 @@ func (s *Stats) Add(s2 Stats) {
 	s.BytesShipped += s2.BytesShipped
 	s.FuncCalls += s2.FuncCalls
 	s.BindRows += s2.BindRows
+	s.CacheHits += s2.CacheHits
+	s.CacheMisses += s2.CacheMisses
+	s.CacheEvictions += s2.CacheEvictions
 }
 
 // Skolems mints stable identifiers: one per (function name, argument
@@ -127,6 +134,17 @@ type Context struct {
 	// long-running operators check it between units of work and
 	// ContextSource connections receive it for in-flight I/O.
 	Ctx context.Context
+	// Cache, when non-nil, memoizes pushed-subplan results across rows and
+	// queries (see ResultCache); the mediator installs a shared instance.
+	Cache *ResultCache
+	// BatchChunk bounds the binding sets shipped per batched push; values
+	// below 1 mean DefaultBatchChunk. A fixed default (rather than one
+	// derived from worker counts) keeps push counts identical between
+	// serial and parallel execution.
+	BatchChunk int
+	// PerRowDJoin disables set-at-a-time DJoin evaluation, restoring the
+	// one-push-per-outer-row baseline (kept for comparison experiments).
+	PerRowDJoin bool
 }
 
 // NewContext returns an empty evaluation context. The builtin function
@@ -587,11 +605,27 @@ func (j *Join) Eval(ctx *Context) (*tab.Tab, error) {
 	return out, nil
 }
 
-// DJoin is the dependency join: the right-hand plan is evaluated once per
-// left row, with the left row's columns available as parameters (the
-// "information passing" of Section 5.3 and the Bind-split of Figure 7).
+// DJoin is the dependency join: the right-hand plan is evaluated with the
+// left rows' columns available as parameters (the "information passing" of
+// Section 5.3 and the Bind-split of Figure 7). Evaluation is set-at-a-time:
+// outer rows are deduplicated to distinct binding sets over the inner
+// plan's free variables, each set is evaluated once — through one batched
+// push per chunk when the inner plan is a SourceQuery over a BatchSource —
+// and the results are re-expanded per outer row, so the output is row for
+// row what one-evaluation-per-row produces (Context.PerRowDJoin restores
+// that baseline).
 type DJoin struct {
 	L, R Op
+
+	prepOnce sync.Once
+	prep     *PreparedPlan
+}
+
+// Prepared returns the per-DJoin preparation of the inner plan (free
+// variables, canonical encoding), computed once instead of once per row.
+func (j *DJoin) Prepared() *PreparedPlan {
+	j.prepOnce.Do(func() { j.prep = PreparePlan(j.R) })
+	return j.prep
 }
 
 // Columns implements Op.
@@ -609,6 +643,32 @@ func (j *DJoin) Eval(ctx *Context) (*tab.Tab, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx.PerRowDJoin {
+		return j.evalPerRow(ctx, l)
+	}
+	set := NewDJoinSet(ctx, j, l)
+	if set.Batchable() {
+		for _, chunk := range set.PendingChunks(ctx) {
+			if err := set.EvalChunk(ctx, chunk); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range set.Bindings.Sets {
+			err := set.EvalSet(ctx, i, j.R, func(c *Context, op Op) (*tab.Tab, error) {
+				return op.Eval(c)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return set.Expand(l, j.Columns()), nil
+}
+
+// evalPerRow is the pre-batching baseline: one inner evaluation per outer
+// row with the full row bound as parameters.
+func (j *DJoin) evalPerRow(ctx *Context, l *tab.Tab) (*tab.Tab, error) {
 	out := tab.New(j.Columns()...)
 	for _, lr := range l.Rows {
 		if err := ctx.Err(); err != nil {
@@ -797,6 +857,17 @@ func (s *Sort) Eval(ctx *Context) (*tab.Tab, error) {
 type SourceQuery struct {
 	Source string
 	Plan   Op
+
+	prepOnce sync.Once
+	prep     *PreparedPlan
+}
+
+// Prepared returns the canonical encoding and free variables of the pushed
+// plan, computed once per node instead of once per push (cache keys and
+// batched pushes both need them).
+func (q *SourceQuery) Prepared() *PreparedPlan {
+	q.prepOnce.Do(func() { q.prep = PreparePlan(q.Plan) })
+	return q.prep
 }
 
 // Columns implements Op.
@@ -817,6 +888,21 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Probe the wrapper-result cache under (source, canonical plan
+	// encoding, free-variable bindings): only the plan's free variables
+	// influence what the source computes, so restricting the key to them
+	// lets a hit stand in for any parameter environment agreeing on them.
+	var key string
+	if ctx.Cache != nil {
+		if p := q.Prepared(); p.Enc != "" {
+			key = CacheKey(q.Source, p.Enc, ParamsKey(p.Vars, ctx.Params))
+			if t, ok := ctx.Cache.Get(key); ok {
+				ctx.Stats.CacheHits++
+				return t, nil
+			}
+			ctx.Stats.CacheMisses++
+		}
+	}
 	var t *tab.Tab
 	var err error
 	if cs, ok := src.(ContextSource); ok && ctx.Ctx != nil {
@@ -828,10 +914,10 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 		return nil, fmt.Errorf("source %s: %w", q.Source, err)
 	}
 	ctx.Stats.SourcePushes++
-	ctx.Stats.TuplesShipped += t.Len()
-	for _, r := range t.Rows {
-		for _, c := range r {
-			ctx.Stats.BytesShipped += int64(len(c.Key()))
+	countShipped(ctx, t)
+	if key != "" {
+		if ctx.Cache.Put(key, t) {
+			ctx.Stats.CacheEvictions++
 		}
 	}
 	return t, nil

@@ -43,10 +43,25 @@ type Options struct {
 	Parallelism int
 	// FanOut bounds the in-flight inner evaluations of one DJoin. Zero or
 	// negative means "use Parallelism". The effective bound is never larger
-	// than Parallelism: fan-out workers come from the same pool.
+	// than Parallelism: fan-out workers come from the same pool. With
+	// batched pushes it bounds the number of chunks in flight.
 	FanOut int
 	// Timeout is the per-query deadline applied by Run; zero disables it.
 	Timeout time.Duration
+	// BatchChunk bounds the binding sets per batched DJoin push; values
+	// below 1 mean algebra.DefaultBatchChunk. Deliberately independent of
+	// Parallelism/FanOut so push counts stay identical between serial and
+	// parallel runs of the same query.
+	BatchChunk int
+	// PerRowDJoin restores the one-push-per-outer-row DJoin baseline
+	// (no deduplication, no batched pushes); comparison experiments and
+	// benchmarks use it to measure what batching saves.
+	PerRowDJoin bool
+	// CacheSize, when positive, asks the mediator to install a shared
+	// wrapper-result cache bounded to this many entries (see
+	// algebra.ResultCache). The engine itself does not consume it: the
+	// cache must outlive individual queries to be useful.
+	CacheSize int
 }
 
 // Engine evaluates algebra plans with a bounded worker pool. It is safe for
@@ -83,7 +98,14 @@ func (e *Engine) Run(ctx context.Context, plan algebra.Op, actx *algebra.Context
 		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
 		defer cancel()
 	}
-	return e.eval(ctx, plan, actx.WithContext(ctx))
+	ectx := actx.WithContext(ctx)
+	if e.opts.BatchChunk > 0 {
+		ectx.BatchChunk = e.opts.BatchChunk
+	}
+	if e.opts.PerRowDJoin {
+		ectx.PerRowDJoin = true
+	}
+	return e.eval(ctx, plan, ectx)
 }
 
 // lit wraps an evaluated input so an operator's own Eval can combine it.
@@ -222,52 +244,97 @@ func (e *Engine) evalPair(ctx context.Context, l, r algebra.Op, actx *algebra.Co
 	return lt, rt, nil
 }
 
-// evalDJoin is the dependency join under fan-out: the inner plan evaluates
-// once per outer row with that row's columns bound as parameters. Rows are
-// dispatched with at most FanOut evaluations in flight; results are
-// collected per row and emitted in outer order, so the output equals the
-// serial DJoin's row for row.
+// evalDJoin is the set-at-a-time dependency join under fan-out: the outer
+// rows are deduplicated to distinct binding sets (mirroring the serial
+// DJoin.Eval), then either batched pushes — one per chunk of binding sets —
+// or per-set inner evaluations are dispatched with at most FanOut units in
+// flight. Results re-expand in outer order, so the output and the counters
+// equal the serial DJoin's row for row.
 func (e *Engine) evalDJoin(ctx context.Context, x *algebra.DJoin, actx *algebra.Context) (*tab.Tab, error) {
 	l, err := e.eval(ctx, x.L, actx)
 	if err != nil {
 		return nil, err
 	}
-	out := tab.New(x.Columns()...)
-	evalRow := func(rctx *algebra.Context, lr tab.Row) (*tab.Tab, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		params := make(map[string]tab.Cell, len(l.Cols))
-		for i, c := range l.Cols {
-			params[c] = lr[i]
-		}
-		return e.eval(ctx, x.R, rctx.WithParams(params))
+	if actx.PerRowDJoin {
+		return e.evalDJoinPerRow(ctx, x, actx, l)
 	}
-
-	if e.opts.Parallelism <= 1 || len(l.Rows) <= 1 || mintsSkolems(x.R) {
-		// Serial path: also taken when the inner plan mints Skolem
-		// identifiers, whose mint order across rows is observable.
-		for _, lr := range l.Rows {
-			sub, err := evalRow(actx, lr)
-			if err != nil {
-				return nil, err
-			}
-			for _, rr := range sub.Rows {
-				out.AddRow(append(lr.Clone(), rr...))
-			}
-		}
-		return out, nil
+	set := algebra.NewDJoinSet(actx, x, l)
+	if set.Batchable() {
+		chunks := set.PendingChunks(actx)
+		err = e.fanOut(ctx, actx, len(chunks), false, func(u *algebra.Context, i int) error {
+			return set.EvalChunk(u, chunks[i])
+		})
+	} else {
+		// Serialized when the inner plan mints Skolem identifiers: mint
+		// order across binding sets is observable in the output.
+		err = e.fanOut(ctx, actx, len(set.Bindings.Sets), mintsSkolems(x.R), func(u *algebra.Context, i int) error {
+			return set.EvalSet(u, i, x.R, func(c *algebra.Context, op algebra.Op) (*tab.Tab, error) {
+				return e.eval(ctx, op, c)
+			})
+		})
 	}
+	if err != nil {
+		return nil, err
+	}
+	return set.Expand(l, x.Columns()), nil
+}
 
+// evalDJoinPerRow is the pre-batching baseline under fan-out: one inner
+// evaluation per outer row with the full row bound as parameters.
+func (e *Engine) evalDJoinPerRow(ctx context.Context, x *algebra.DJoin, actx *algebra.Context, l *tab.Tab) (*tab.Tab, error) {
 	subs := make([]*tab.Tab, len(l.Rows))
-	errs := make([]error, len(l.Rows))
+	err := e.fanOut(ctx, actx, len(l.Rows), mintsSkolems(x.R), func(u *algebra.Context, i int) error {
+		params := make(map[string]tab.Cell, len(l.Cols))
+		for j, c := range l.Cols {
+			params[c] = l.Rows[i][j]
+		}
+		sub, err := e.eval(ctx, x.R, u.WithParams(params))
+		subs[i] = sub
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := tab.New(x.Columns()...)
+	for i, sub := range subs {
+		for _, rr := range sub.Rows {
+			out.AddRow(append(l.Rows[i].Clone(), rr...))
+		}
+	}
+	return out, nil
+}
+
+// fanOut runs n independent units with at most FanOut in flight (forked
+// units come from the shared worker pool; the dispatching goroutine runs
+// the overflow inline, so it is never idle and never deadlocks). Each unit
+// receives the context to evaluate under — a Stats fork when running
+// concurrently — and its index. Units must only write disjoint state.
+// Serial execution (Parallelism 1, a single unit, or serialOnly) calls the
+// units in order on actx itself.
+func (e *Engine) fanOut(ctx context.Context, actx *algebra.Context, n int, serialOnly bool, unit func(*algebra.Context, int) error) error {
+	run := func(u *algebra.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return unit(u, i)
+	}
+	if e.opts.Parallelism <= 1 || n <= 1 || serialOnly {
+		for i := 0; i < n; i++ {
+			if err := run(actx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var forked algebra.Stats
-	// local caps this DJoin's own fan-out below the global pool: at most
-	// FanOut-1 forked rows in flight (the inline row is the FanOut-th).
+	// local caps this operator's own fan-out below the global pool: at
+	// most FanOut-1 forked units in flight (the inline unit is the
+	// FanOut-th).
 	local := make(chan struct{}, e.opts.FanOut-1)
-	for i := range l.Rows {
+	for i := 0; i < n; i++ {
 		i := i
 		forkable := false
 		select {
@@ -283,7 +350,7 @@ func (e *Engine) evalDJoin(ctx context.Context, x *algebra.DJoin, actx *algebra.
 					defer wg.Done()
 					defer func() { <-e.tokens; <-local }()
 					rctx := actx.Fork()
-					subs[i], errs[i] = evalRow(rctx, l.Rows[i])
+					errs[i] = run(rctx, i)
 					mu.Lock()
 					forked.Add(*rctx.Stats)
 					mu.Unlock()
@@ -293,21 +360,18 @@ func (e *Engine) evalDJoin(ctx context.Context, x *algebra.DJoin, actx *algebra.
 				<-local // global pool saturated: give the slot back
 			}
 		}
-		// No free worker: evaluate this row inline. This both bounds the
+		// No free worker: run this unit inline. This both bounds the
 		// fan-out and keeps the dispatching goroutine productive.
-		subs[i], errs[i] = evalRow(actx, l.Rows[i])
+		errs[i] = run(actx, i)
 	}
 	wg.Wait()
 	actx.Stats.Add(forked)
-	for i, sub := range subs {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		for _, rr := range sub.Rows {
-			out.AddRow(append(l.Rows[i].Clone(), rr...))
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // mintsSkolems reports whether evaluating the plan can mint Skolem

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/capability"
@@ -37,6 +38,13 @@ type Mediator struct {
 	// rewriting step and again immediately before execution; a violation
 	// aborts the query instead of producing a wrong answer.
 	CheckInvariants bool
+
+	// cache, when installed (EnableCache or ExecOptions.CacheSize),
+	// memoizes wrapper results across the rows of one DJoin and across
+	// queries; cacheMu guards installation, the cache itself is
+	// thread-safe.
+	cacheMu sync.Mutex
+	cache   *algebra.ResultCache
 }
 
 // View is a registered YAT_L rule with its algebraic translation.
@@ -143,9 +151,38 @@ func (m *Mediator) Sources() []string {
 // Interface returns a connected source's capability interface.
 func (m *Mediator) Interface(source string) *capability.Interface { return m.ifaces[source] }
 
+// EnableCache installs a wrapper-result cache bounded to the given number
+// of entries, shared by every subsequent query this mediator executes (see
+// algebra.ResultCache; the cache assumes quiescent sources). A bound below
+// 1 removes the cache. Replacing an existing cache drops its contents.
+func (m *Mediator) EnableCache(entries int) {
+	m.cacheMu.Lock()
+	m.cache = algebra.NewResultCache(entries)
+	m.cacheMu.Unlock()
+}
+
+// resultCache returns the installed cache (nil when caching is off).
+func (m *Mediator) resultCache() *algebra.ResultCache {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	return m.cache
+}
+
+// ensureCache installs a cache if none is present yet (the
+// ExecOptions.CacheSize path; an explicitly enabled cache is kept, so a
+// warm cache survives across queries with the same options).
+func (m *Mediator) ensureCache(entries int) {
+	m.cacheMu.Lock()
+	if m.cache == nil {
+		m.cache = algebra.NewResultCache(entries)
+	}
+	m.cacheMu.Unlock()
+}
+
 // newContext builds a fresh evaluation context for one query.
 func (m *Mediator) newContext() *algebra.Context {
 	ctx := algebra.NewContext()
+	ctx.Cache = m.resultCache()
 	for n, s := range m.sources {
 		ctx.Sources[n] = s
 	}
@@ -368,7 +405,9 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 // ExecOptions configure plan execution for ExecuteContext: Parallelism
 // bounds the worker pool (1 = serial, the exact behaviour of Query), FanOut
 // bounds one DJoin's in-flight sub-queries, Timeout is the per-query
-// deadline.
+// deadline, BatchChunk sizes batched DJoin pushes, PerRowDJoin restores the
+// one-push-per-row baseline, and CacheSize installs a shared wrapper-result
+// cache (kept warm across queries).
 type ExecOptions = exec.Options
 
 // ExecuteContext composes, optimizes and executes a YAT_L query on the
@@ -379,6 +418,9 @@ type ExecOptions = exec.Options
 // and DJoin sub-queries evaluate concurrently, with identical result rows
 // and identical statistics.
 func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts ExecOptions) (*Result, error) {
+	if opts.CacheSize > 0 {
+		m.ensureCache(opts.CacheSize)
+	}
 	naive, err := m.Compose(querySrc)
 	if err != nil {
 		return nil, err

@@ -36,6 +36,7 @@ const (
 	CodeCapability    = "capability"      // pushed subplan exceeds the source's interface
 	CodeUnknownDoc    = "unknown-doc"     // named document no source or catalog exports
 	CodeMalformed     = "malformed"       // an operator form Eval and Columns disagree on
+	CodeBatchShape    = "batch-shape"     // DJoin inner plan reads parameters nothing provides
 )
 
 // Diagnostic is one invariant violation, located by a plan path: operator
@@ -241,6 +242,7 @@ func (c *checker) check(op algebra.Op, path string, env map[string]bool, pushed 
 		renv := union(env, colSet(childCols(x.L)))
 		c.check(x.R, extend(path, "R"), renv, pushed)
 		c.checkDisjoint(childCols(x.L), childCols(x.R), path, x)
+		c.checkBatchShape(x, renv, path)
 	case *algebra.Union:
 		c.check(x.L, extend(path, "L"), env, pushed)
 		c.check(x.R, extend(path, "R"), env, pushed)
@@ -309,6 +311,41 @@ func (c *checker) checkDoc(name, path string, op algebra.Op) {
 	if c.cfg.Docs != nil && !c.cfg.Docs[name] {
 		c.report(CodeUnknownDoc, path, op, "no source or catalog exports document %q", name)
 	}
+}
+
+// checkBatchShape verifies the invariant set-at-a-time DJoin evaluation
+// leans on: the inner plan's free variables (algebra.FreeVars — exactly the
+// bindings a batched push ships sideways) must all come from the outer
+// columns or the surrounding parameter environment. A violation means the
+// deduplicated binding sets would under-determine the inner plan — the same
+// condition the unbound-var check reports inside the inner plan, restated
+// at the DJoin so the batching impact is visible at the operator that
+// ships the bindings.
+func (c *checker) checkBatchShape(x *algebra.DJoin, renv map[string]bool, path string) {
+	if x.L == nil || x.R == nil {
+		return // nil children are reported separately
+	}
+	free, ok := freeVarsOf(x.R)
+	if !ok {
+		return // plan too malformed to analyze; nil-plan reports cover it
+	}
+	for _, v := range free {
+		if !renv[v] {
+			c.report(CodeBatchShape, path, x,
+				"DJoin inner plan reads parameter %s which neither the outer columns nor the environment provide; its binding sets are under-determined", v)
+		}
+	}
+}
+
+// freeVarsOf shields FreeVars against malformed plans whose Columns()
+// panics on nil children deeper in the tree.
+func freeVarsOf(op algebra.Op) (vars []string, ok bool) {
+	defer func() {
+		if recover() != nil {
+			vars, ok = nil, false
+		}
+	}()
+	return algebra.FreeVars(op), true
 }
 
 // checkVars verifies that every referenced variable is a column of the input

@@ -112,6 +112,37 @@ func TestDJoinParameterIsBound(t *testing.T) {
 	}
 }
 
+func TestDJoinBatchShape(t *testing.T) {
+	// $ghost is provided neither by the left columns nor the environment,
+	// so the DJoin's binding sets are under-determined: the unbound-var
+	// check fires inside R and the batch-shape check fires at the DJoin.
+	plan := &algebra.DJoin{
+		L: docBind(`doc[ *item[ name: $n ] ]`),
+		R: &algebra.Select{
+			From: docBind(`doc[ *item[ num: $v ] ]`),
+			Pred: algebra.MustParseExpr(`$ghost = 1`),
+		},
+	}
+	ds := Check(plan, testConfig())
+	var shape, unbound bool
+	for _, d := range ds {
+		switch d.Code {
+		case CodeBatchShape:
+			shape = true
+			if d.Path != "DJoin" || !strings.Contains(d.Msg, "$ghost") {
+				t.Errorf("batch-shape diagnostic should sit at the DJoin and name the variable: %s", d)
+			}
+		case CodeUnboundVar:
+			unbound = true
+		}
+	}
+	if !shape || !unbound {
+		t.Fatalf("want batch-shape and unbound-var diagnostics, got: %v", ds)
+	}
+	// A DJoin whose parameters are all determined stays clean (see
+	// TestDJoinParameterIsBound); batch-shape must never fire on its own.
+}
+
 func TestUnknownProjectColumn(t *testing.T) {
 	plan := &algebra.Project{
 		From: docBind(`doc[ *item[ name: $n ] ]`),

@@ -1,0 +1,38 @@
+package waiswrap
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/tab"
+)
+
+// The wrapper evaluates batched pushes natively (algebra.BatchSource): a
+// mediator ships a parameterized contains plan once per batch instead of
+// once per binding row.
+var _ algebra.BatchSource = (*Wrapper)(nil)
+
+// PushBatch implements algebra.BatchSource: the plan is evaluated once per
+// binding set, server-side. All-or-error: a failing binding aborts the
+// batch and no partial results are returned.
+func (w *Wrapper) PushBatch(plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	return w.PushBatchContext(context.Background(), plan, bindings)
+}
+
+// PushBatchContext implements algebra.BatchSource: PushBatch under a
+// cancellation context, checked between bindings.
+func (w *Wrapper) PushBatchContext(ctx context.Context, plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	out := make([]*tab.Tab, len(bindings))
+	for i, b := range bindings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t, err := w.Push(plan, b)
+		if err != nil {
+			return nil, fmt.Errorf("binding %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

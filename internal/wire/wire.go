@@ -13,6 +13,13 @@
 //	<structures-request/>                     → <structures><model .../>*</structures>
 //	<fetch doc="works"/>                      → <forest>trees</forest>
 //	<push><plan>...</plan><params>tab</params></push> → <tab .../>
+//	<pushbatch><plan>...</plan><bindings>tab</bindings></pushbatch> → <batch><tab/>*</batch>
+//
+// pushbatch is the set-at-a-time form of push (batched information
+// passing): the plan ships once with one binding row per parameter set; the
+// wrapper evaluates it per binding — natively when its source implements
+// algebra.BatchSource, else by looping Push server-side — and answers with
+// one <tab> per binding, in binding order, in a single round trip.
 //
 // Errors travel as <error msg="..."/>.
 package wire
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -245,6 +254,56 @@ func (s *Server) respond(req string) string {
 			return errorXML("push: %v", err)
 		}
 		return tab.Marshal(res)
+	case "pushbatch":
+		planNode := n.Child("plan")
+		if planNode == nil {
+			return errorXML("pushbatch without plan")
+		}
+		plan, err := algebra.PlanFromXML(firstElem(planNode))
+		if err != nil {
+			return errorXML("pushbatch plan: %v", err)
+		}
+		bn := n.Child("bindings")
+		if bn == nil {
+			return errorXML("pushbatch without bindings")
+		}
+		bt, err := tab.FromXML(firstElem(bn))
+		if err != nil {
+			return errorXML("pushbatch bindings: %v", err)
+		}
+		bindings := make([]map[string]tab.Cell, bt.Len())
+		for i, r := range bt.Rows {
+			m := make(map[string]tab.Cell, len(bt.Cols))
+			for j, col := range bt.Cols {
+				m[col] = r[j]
+			}
+			bindings[i] = m
+		}
+		var res []*tab.Tab
+		if bs, ok := s.Exp.Source.(algebra.BatchSource); ok {
+			res, err = bs.PushBatch(plan, bindings)
+			if err == nil && len(res) != len(bindings) {
+				err = fmt.Errorf("source returned %d results for %d bindings", len(res), len(bindings))
+			}
+		} else {
+			// The source has no native batch evaluation; looping here still
+			// collapses the exchange to one round trip.
+			res = make([]*tab.Tab, len(bindings))
+			for i, b := range bindings {
+				if res[i], err = s.Exp.Source.Push(plan, b); err != nil {
+					err = fmt.Errorf("binding %d: %w", i, err)
+					break
+				}
+			}
+		}
+		if err != nil {
+			return errorXML("pushbatch: %v", err)
+		}
+		resp := data.Elem("batch")
+		for _, t := range res {
+			resp.Add(tab.ToXML(t))
+		}
+		return xmlenc.Serialize(resp)
 	default:
 		return errorXML("unknown request <%s>", n.Label)
 	}
@@ -282,9 +341,40 @@ type Client struct {
 	// idle parks connections between requests for reuse.
 	idle chan net.Conn
 
+	// encs memoizes canonical plan encodings by plan node, so a DJoin
+	// pushing one inner plan many times (chunked batches, or the per-row
+	// fallback) encodes it once instead of once per request.
+	encMu sync.Mutex
+	encs  map[algebra.Op]string
+
 	mu     sync.Mutex
 	conns  map[net.Conn]bool // every live connection, for Close
 	closed bool
+}
+
+// planEncCacheSize bounds the per-client encoding memo; queries push a
+// handful of distinct plans, so the bound exists only as a leak guard.
+const planEncCacheSize = 128
+
+func (c *Client) encodePlan(plan algebra.Op) (string, error) {
+	c.encMu.Lock()
+	if s, ok := c.encs[plan]; ok {
+		c.encMu.Unlock()
+		return s, nil
+	}
+	c.encMu.Unlock()
+	n, err := algebra.PlanToXML(plan)
+	if err != nil {
+		return "", err
+	}
+	s := xmlenc.Serialize(n)
+	c.encMu.Lock()
+	if len(c.encs) >= planEncCacheSize {
+		c.encs = make(map[algebra.Op]string) // plans die with their query: reset wholesale
+	}
+	c.encs[plan] = s
+	c.encMu.Unlock()
+	return s, nil
 }
 
 // Dial connects to a wrapper with the default pool bound and performs the
@@ -300,6 +390,7 @@ func DialPool(addr string, maxConns int) (*Client, error) {
 		addr:   addr,
 		tokens: make(chan struct{}, maxConns),
 		idle:   make(chan net.Conn, maxConns),
+		encs:   map[algebra.Op]string{},
 		conns:  map[net.Conn]bool{},
 	}
 	resp, err := c.roundTrip(`<hello/>`)
@@ -423,20 +514,30 @@ func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, erro
 		conn.SetDeadline(dl)
 	}
 	watchDone := make(chan struct{})
+	watchExit := make(chan struct{})
 	if ctx.Done() != nil {
 		go func() {
+			defer close(watchExit)
 			select {
 			case <-ctx.Done():
 				conn.SetDeadline(time.Unix(1, 0)) // in the past: fail pending I/O now
 			case <-watchDone:
 			}
 		}()
+	} else {
+		close(watchExit)
 	}
 	var resp string
 	if err = WriteFrame(conn, req); err == nil {
 		resp, err = ReadFrame(conn)
 	}
 	close(watchDone)
+	// Join the watchdog before deciding the connection's fate: a
+	// late-scheduled watchdog that sees the cancellation after the exchange
+	// completed would otherwise poison the deadline of a connection already
+	// parked in the pool — or already acquired by an unrelated request,
+	// failing it spuriously and churning its slot.
+	<-watchExit
 	if err == nil && ctx.Err() != nil {
 		// The exchange raced a cancellation; the watchdog may have poisoned
 		// the connection's deadline, so don't reuse it.
@@ -505,31 +606,110 @@ func (c *Client) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, er
 }
 
 // PushContext implements algebra.ContextSource: Push under a cancellation
-// context.
+// context. The plan's canonical encoding comes from the per-client memo, so
+// repeated pushes of one plan (a DJoin's per-row fallback) encode it once.
 func (c *Client) PushContext(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
-	planXML, err := algebra.PlanToXML(plan)
+	enc, err := c.encodePlan(plan)
 	if err != nil {
 		return nil, err
 	}
-	req := data.Elem("push", data.Elem("plan", planXML))
+	var req strings.Builder
+	req.WriteString("<push><plan>")
+	req.WriteString(enc)
+	req.WriteString("</plan>")
 	if len(params) > 0 {
 		cols := make([]string, 0, len(params))
 		for k := range params {
 			cols = append(cols, k)
 		}
+		sort.Strings(cols)
 		pt := tab.New(cols...)
 		row := make(tab.Row, len(cols))
 		for i, k := range cols {
 			row[i] = params[k]
 		}
 		pt.AddRow(row)
-		req.Add(data.Elem("params", tab.ToXML(pt)))
+		req.WriteString("<params>")
+		req.WriteString(tab.Marshal(pt))
+		req.WriteString("</params>")
 	}
-	resp, err := c.roundTripCtx(ctx, xmlenc.Serialize(req))
+	req.WriteString("</push>")
+	resp, err := c.roundTripCtx(ctx, req.String())
 	if err != nil {
 		return nil, err
 	}
 	return tab.FromXML(resp)
+}
+
+// PushBatch implements algebra.BatchSource.
+func (c *Client) PushBatch(plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	return c.PushBatchContext(context.Background(), plan, bindings)
+}
+
+// PushBatchContext implements algebra.BatchSource: the plan ships once with
+// one binding row per parameter set, and the wrapper answers with an
+// indexed result set — all in a single round trip. A variable absent from
+// some bindings (hand-rolled calls only; DJoin batches bind uniformly)
+// ships as an explicit null.
+func (c *Client) PushBatchContext(ctx context.Context, plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	if len(bindings) == 0 {
+		return nil, nil
+	}
+	enc, err := c.encodePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	colSet := map[string]bool{}
+	for _, b := range bindings {
+		for k := range b {
+			colSet[k] = true
+		}
+	}
+	cols := make([]string, 0, len(colSet))
+	for k := range colSet {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	bt := tab.New(cols...)
+	for _, b := range bindings {
+		row := make(tab.Row, len(cols))
+		for i, k := range cols {
+			if cell, ok := b[k]; ok {
+				row[i] = cell
+			} else {
+				row[i] = tab.Null()
+			}
+		}
+		bt.AddRow(row)
+	}
+	var req strings.Builder
+	req.WriteString("<pushbatch><plan>")
+	req.WriteString(enc)
+	req.WriteString("</plan><bindings>")
+	req.WriteString(tab.Marshal(bt))
+	req.WriteString("</bindings></pushbatch>")
+	resp, err := c.roundTripCtx(ctx, req.String())
+	if err != nil {
+		return nil, err
+	}
+	if resp.Label != "batch" {
+		return nil, fmt.Errorf("wire: unexpected response <%s>", resp.Label)
+	}
+	out := make([]*tab.Tab, 0, len(bindings))
+	for _, k := range resp.Kids {
+		if k.Label != "tab" {
+			continue
+		}
+		t, err := tab.FromXML(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	if len(out) != len(bindings) {
+		return nil, fmt.Errorf("wire: batch of %d results for %d bindings", len(out), len(bindings))
+	}
+	return out, nil
 }
 
 // ImportInterface fetches the wrapper's capability interface.
