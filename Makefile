@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json
+.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix
 
-check: build vet test lint bench-smoke
+check: build vet test lint fault-matrix bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,15 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
 
-# Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs cached) for
-# CI trend tracking; asserts row equality across all variants as it runs.
+# The fault-injection matrix: every injected fault kind (drop, truncate,
+# garble, delay, kill) against Q2 over live wire wrappers, serial and
+# parallel, under the race detector. Runs as part of `make test` too; this
+# target re-runs just the matrix so a CI step can surface it by name.
+fault-matrix:
+	$(GO) test -race -run 'TestFaultMatrix|TestOnePercentFaultRate|TestAllowPartial|TestBreaker' ./internal/mediator ./internal/wire ./internal/faults
+
+# Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs cached vs
+# 1%-fault recovery) for CI trend tracking; asserts row equality across all
+# variants as it runs.
 bench-json:
-	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR3.json
+	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR4.json

@@ -2,19 +2,21 @@
 // per-figure experiments (F7, F8, F9), the transfer sweep (E10), the
 // information-passing crossover (E11), the source-index ablation (E12),
 // the optimizer-round ablation (E13), the parallel-engine worker sweep
-// (E15, over live TCP wrappers) and the batched-pushdown/cache sweep (E16).
-// Each table reports measured wall time, shipped bytes/tuples and source
-// calls; correctness is asserted against the generator's ground truth on
-// every run.
+// (E15, over live TCP wrappers), the batched-pushdown/cache sweep (E16)
+// and the fault-tolerance experiment (E17, Q2 under injected transport
+// faults). Each table reports measured wall time, shipped bytes/tuples and
+// source calls; correctness is asserted against the generator's ground
+// truth on every run.
 //
 // Usage:
 //
 //	yat-experiments [-quick]
-//	yat-experiments -bench-json BENCH_PR3.json
+//	yat-experiments -bench-json BENCH_PR4.json
 //
 // With -bench-json, only the Fig. 9 Q2 measurements run (per-row, batched,
-// parallel, warm cache) and the results are written as JSON for CI trend
-// tracking instead of the human-readable tables.
+// parallel, warm cache, plus a 1%-fault-rate recovery variant) and the
+// results are written as JSON for CI trend tracking instead of the
+// human-readable tables.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/data"
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/filter"
 	"repro/internal/mediator"
 	"repro/internal/o2wrap"
@@ -93,6 +96,9 @@ func run(sizes, sweep []int) error {
 		return err
 	}
 	if err := e16(sizes[len(sizes)-2]); err != nil {
+		return err
+	}
+	if err := e17(sizes[len(sizes)-2]); err != nil {
 		return err
 	}
 	return nil
@@ -450,6 +456,13 @@ func (s *delaySource) PushBatchContext(ctx context.Context, plan algebra.Op, bin
 // behind wire servers with the given per-round-trip latency — and returns a
 // mediator connected through wire clients plus a teardown function.
 func wireDeploy(n int, latency time.Duration) (*mediator.Mediator, *datagen.Workload, func(), error) {
+	return wireDeployFaulty(n, latency, [2]*faults.Injector{}, nil)
+}
+
+// wireDeployFaulty is wireDeploy with per-wrapper fault injectors (nil =
+// clean) and an optional transport retry policy override for the mediator's
+// wire clients (nil = default).
+func wireDeployFaulty(n int, latency time.Duration, inj [2]*faults.Injector, retry *wire.RetryPolicy) (*mediator.Mediator, *datagen.Workload, func(), error) {
 	w := datagen.Generate(datagen.DefaultParams(n))
 	ow := o2wrap.New("o2artifact", w.DB)
 	schema := ow.ExportSchema()
@@ -472,15 +485,19 @@ func wireDeploy(n int, latency time.Duration) (*mediator.Mediator, *datagen.Work
 			closers[i]()
 		}
 	}
-	for _, exp := range exps {
+	for i, exp := range exps {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			teardown()
 			return nil, nil, nil, err
 		}
-		srv := wire.Serve(ln, exp)
+		var serveLn net.Listener = ln
+		if inj[i] != nil {
+			serveLn = inj[i].Listener(ln)
+		}
+		srv := wire.Serve(serveLn, exp)
 		closers = append(closers, srv.Close)
-		c, err := wire.Dial(srv.Addr())
+		c, err := wire.DialWith(context.Background(), srv.Addr(), wire.Options{Retry: retry})
 		if err != nil {
 			teardown()
 			return nil, nil, nil, err
@@ -617,6 +634,98 @@ func e16(n int) error {
 	return nil
 }
 
+// e17 exercises the fault-tolerance layer on Q2 over the wire deployment:
+// first a clean run with the retry layer disabled versus enabled (the retry
+// machinery must cost nothing and change nothing when the network behaves),
+// then per-row Q2 under 1% and 10% injected transport faults (dropped
+// connections, truncated frames, garbled payloads). Every faulted run must
+// return rows identical to the clean baseline — the client absorbs the
+// faults with retries and redials, which the table reports.
+func e17(n int) error {
+	const latency = 500 * time.Microsecond
+	fmt.Printf("\n== E17: fault tolerance on Q2 over wire, per-row passing (artifacts=%d) ==\n", n)
+	fmt.Printf("%-26s %8s %12s %9s %8s %8s\n", "variant", "rows", "time", "injected", "retries", "redials")
+
+	opts := mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true, Timeout: time.Minute}
+	run := func(name string, rate float64, seeds [2]int64, retry *wire.RetryPolicy) (*tab.Tab, int, error) {
+		var inj [2]*faults.Injector
+		if rate > 0 {
+			for i := range inj {
+				inj[i] = faults.New(faults.Config{
+					Seed:  seeds[i],
+					Rate:  rate,
+					Kinds: []faults.Kind{faults.Drop, faults.Truncate, faults.Garble},
+					// Let the hello/interface/structures setup exchanges
+					// through so faults land on query traffic.
+					After: 3,
+				})
+			}
+		}
+		m, w, teardown, err := wireDeployFaulty(n, latency, inj, retry)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer teardown()
+		res, d, err := med(func() (*mediator.Result, error) {
+			return m.ExecuteContext(context.Background(), datagen.Q2Src, opts)
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("E17 %s: %w", name, err)
+		}
+		if res.Tab.Len() != len(w.Q2Titles) {
+			return nil, 0, fmt.Errorf("E17 %s: got %d rows, ground truth %d", name, res.Tab.Len(), len(w.Q2Titles))
+		}
+		injected := 0
+		for _, in := range inj {
+			if in != nil {
+				injected += in.Injected()
+			}
+		}
+		fmt.Printf("%-26s %8d %12s %9d %8d %8d\n", name, res.Tab.Len(),
+			d.Round(10*time.Microsecond), injected, res.Stats.Retries, res.Stats.Redials)
+		return res.Tab, injected, nil
+	}
+
+	noRetry := wire.DefaultRetryPolicy
+	noRetry.MaxAttempts = 1
+	clean, _, err := run("clean, retries off", 0, [2]int64{}, &noRetry)
+	if err != nil {
+		return err
+	}
+	base, _, err := run("clean, retries on", 0, [2]int64{}, nil)
+	if err != nil {
+		return err
+	}
+	if !base.Equal(clean) {
+		return fmt.Errorf("E17: the retry layer changed clean results")
+	}
+	// At 10% the default 3 attempts leave a small chance of three faults in
+	// a row exhausting the budget; a deeper budget makes recovery certain.
+	hard := wire.DefaultRetryPolicy
+	hard.MaxAttempts = 6
+	for _, f := range []struct {
+		name  string
+		rate  float64
+		seeds [2]int64
+		retry *wire.RetryPolicy
+	}{
+		{"faults 1%", 0.01, [2]int64{17, 23}, nil},
+		{"faults 10%", 0.10, [2]int64{29, 31}, &hard},
+	} {
+		got, injected, err := run(f.name, f.rate, f.seeds, f.retry)
+		if err != nil {
+			return err
+		}
+		if !got.Equal(base) {
+			return fmt.Errorf("E17 %s: rows diverge from clean baseline", f.name)
+		}
+		if injected == 0 && f.rate >= 0.05 {
+			return fmt.Errorf("E17 %s: no faults injected — nothing was exercised", f.name)
+		}
+	}
+	return nil
+}
+
 // benchRecord is one -bench-json measurement of Q2 over the wire deployment.
 type benchRecord struct {
 	Name      string  `json:"name"`
@@ -625,11 +734,15 @@ type benchRecord struct {
 	CacheHits int     `json:"cache_hits"`
 	Rows      int     `json:"rows"`
 	Speedup   float64 `json:"speedup_vs_per_row"`
+	Retries   int     `json:"retries"`
+	Redials   int     `json:"redials"`
+	Injected  int     `json:"faults_injected,omitempty"`
 }
 
 // benchJSON runs the Fig. 9 Q2 variants (per-row serial and parallel,
-// batched serial and parallel, warm cache) over the wire deployment and
-// writes machine-readable results — the CI artifact BENCH_PR3.json.
+// batched serial and parallel, warm cache, and per-row under a 1% injected
+// fault rate) over the wire deployment and writes machine-readable results —
+// the CI artifact BENCH_PR4.json.
 func benchJSON(path string, n int) error {
 	const latency = 2 * time.Millisecond
 	m, _, teardown, err := wireDeploy(n, latency)
@@ -679,8 +792,49 @@ func benchJSON(path string, n int) error {
 			CacheHits: res.Stats.CacheHits,
 			Rows:      res.Tab.Len(),
 			Speedup:   float64(baselineNs) / float64(maxI64(d.Nanoseconds(), 1)),
+			Retries:   res.Stats.Retries,
+			Redials:   res.Stats.Redials,
 		})
 	}
+
+	// The fault variant gets its own deployment: both wrappers behind a 1%
+	// injector, per-row passing so faults land on real query traffic. Rows
+	// must still match the clean baseline exactly.
+	var inj [2]*faults.Injector
+	for i, seed := range []int64{17, 23} {
+		inj[i] = faults.New(faults.Config{
+			Seed:  seed,
+			Rate:  0.01,
+			Kinds: []faults.Kind{faults.Drop, faults.Truncate, faults.Garble},
+			After: 3,
+		})
+	}
+	fm, _, fteardown, err := wireDeployFaulty(n, latency, inj, nil)
+	if err != nil {
+		return err
+	}
+	defer fteardown()
+	res, d, err := med(func() (*mediator.Result, error) {
+		return fm.ExecuteContext(context.Background(), datagen.Q2Src,
+			mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true, Timeout: time.Minute})
+	})
+	if err != nil {
+		return fmt.Errorf("q2_per_row_faults_1pct: %w", err)
+	}
+	if !res.Tab.Equal(baseline.Tab) {
+		return fmt.Errorf("q2_per_row_faults_1pct: rows diverge from clean baseline")
+	}
+	records = append(records, benchRecord{
+		Name:      "q2_per_row_faults_1pct",
+		NsPerOp:   d.Nanoseconds(),
+		Pushes:    res.Stats.SourcePushes,
+		CacheHits: res.Stats.CacheHits,
+		Rows:      res.Tab.Len(),
+		Speedup:   float64(baselineNs) / float64(maxI64(d.Nanoseconds(), 1)),
+		Retries:   res.Stats.Retries,
+		Redials:   res.Stats.Redials,
+		Injected:  inj[0].Injected() + inj[1].Injected(),
+	})
 	out, err := json.MarshalIndent(map[string]any{
 		"experiment": "fig9_q2_batched_pushdown",
 		"artifacts":  n,

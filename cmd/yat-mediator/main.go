@@ -5,6 +5,7 @@
 // Usage:
 //
 //	yat-mediator [-script session.txt] [-lint] [-parallel N] [-timeout D] [-cache N]
+//	             [-partial] [-retries N] [-connect-timeout D] [-inject SPEC]
 //
 // With -lint, every plan is verified by the planlint static checker after
 // each optimizer rewriting step and before execution; a broken invariant
@@ -22,6 +23,20 @@
 // are answered locally without a wrapper round trip. The cache assumes
 // sources do not change underneath the session.
 //
+// Fault tolerance controls:
+//
+//   - -retries N sets the transport retry budget per wrapper request
+//     (attempts including the first; default 3, 1 disables retrying).
+//   - -connect-timeout D bounds `connect` — TCP dial plus hello exchange
+//     (default 10s).
+//   - -partial makes `query` degrade gracefully: rows derivable from live
+//     sources are returned and dead sources are reported per source,
+//     instead of failing the whole query.
+//   - -inject SPEC injects transport faults into every wrapper connection
+//     (client side), for demonstrating and debugging the retry layer. SPEC
+//     is comma-separated: rate=0.05,seed=1,kinds=drop+truncate+garble,
+//     delay=50ms,killnth=3 (kinds defaults to drop+delay+truncate+garble).
+//
 // The console reads commands from stdin:
 //
 //	connect <name> <host:port>     connect and import a wrapper
@@ -29,6 +44,7 @@
 //	load <file>                    load a YAT_L program (view definitions)
 //	assume <dropdoc> <keepdoc>     declare a containment assumption
 //	status                         list sources and views
+//	health                         per-source circuit-breaker state
 //	query  <YAT_L query> ;         optimize and evaluate
 //	naive  <YAT_L query> ;         evaluate without optimization
 //	explain <YAT_L query> ;        show naive and optimized plans
@@ -38,17 +54,31 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/faults"
 	"repro/internal/mediator"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
 )
+
+// dialConfig carries the connection-level configuration every `connect`
+// command uses: dial deadline, retry budget, and the optional fault
+// injector wrapping each new wrapper connection.
+type dialConfig struct {
+	connectTimeout time.Duration
+	retry          *wire.RetryPolicy
+	inject         *faults.Injector
+}
 
 func main() {
 	script := flag.String("script", "", "read commands from a file instead of stdin")
@@ -56,6 +86,10 @@ func main() {
 	parallel := flag.Int("parallel", 1, "execution workers per query (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
 	cache := flag.Int("cache", 0, "wrapper-result cache entries (0 = no caching)")
+	partial := flag.Bool("partial", false, "degrade gracefully: return rows from live sources, report dead ones")
+	retries := flag.Int("retries", 0, "transport attempts per wrapper request (0 = default 3, 1 = no retries)")
+	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "deadline for connect (dial + hello)")
+	inject := flag.String("inject", "", "inject transport faults, e.g. rate=0.05,seed=1,kinds=drop+garble")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -68,16 +102,74 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	sess := &dialConfig{connectTimeout: *connectTimeout}
+	if *retries > 0 {
+		p := wire.DefaultRetryPolicy
+		p.MaxAttempts = *retries
+		sess.retry = &p
+	}
+	if *inject != "" {
+		cfg, err := parseInjectSpec(*inject)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yat-mediator: -inject: %v\n", err)
+			os.Exit(1)
+		}
+		sess.inject = faults.New(cfg)
+	}
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
-	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout, CacheSize: *cache}
-	if err := repl(in, os.Stdout, *lint, opts); err != nil {
+	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout, CacheSize: *cache, AllowPartial: *partial}
+	if err := repl(in, os.Stdout, *lint, opts, sess); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions) error {
+// parseInjectSpec parses the -inject flag: comma-separated key=value pairs
+// rate, seed, kinds (plus-separated), delay, killnth.
+func parseInjectSpec(spec string) (faults.Config, error) {
+	var cfg faults.Config
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad entry %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "rate":
+			cfg.Rate, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "delay":
+			cfg.Delay, err = time.ParseDuration(val)
+		case "killnth":
+			cfg.KillNth, err = strconv.Atoi(val)
+		case "kinds":
+			for _, k := range strings.Split(val, "+") {
+				switch k {
+				case "drop":
+					cfg.Kinds = append(cfg.Kinds, faults.Drop)
+				case "delay":
+					cfg.Kinds = append(cfg.Kinds, faults.Delay)
+				case "truncate":
+					cfg.Kinds = append(cfg.Kinds, faults.Truncate)
+				case "garble":
+					cfg.Kinds = append(cfg.Kinds, faults.Garble)
+				default:
+					return cfg, fmt.Errorf("unknown kind %q", k)
+				}
+			}
+		default:
+			return cfg, fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("bad %s: %v", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, sess *dialConfig) error {
 	m := mediator.New()
 	m.CheckInvariants = lint
 	m.RegisterFunc("contains", waiswrap.Contains)
@@ -118,7 +210,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions) err
 				fmt.Fprintln(out, "usage: connect <name> <host:port>")
 				break
 			}
-			if err := connect(m, clients, fields[1], fields[2]); err != nil {
+			if err := connect(m, clients, fields[1], fields[2], sess); err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
 			} else {
 				fmt.Fprintf(out, " connected %s at %s\n", fields[1], fields[2])
@@ -164,6 +256,8 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions) err
 			fmt.Fprintf(out, " assuming %s ⊆ %s\n", fields[1], fields[2])
 		case "status":
 			fmt.Fprint(out, m.Describe())
+		case "health":
+			printHealth(out, m)
 		case "query", "naive", "explain":
 			mode = fields[0]
 			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
@@ -175,15 +269,25 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions) err
 				mode = ""
 			}
 		default:
-			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, query, naive, explain, quit)\n", fields[0])
+			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, health, query, naive, explain, quit)\n", fields[0])
 		}
 		fmt.Fprint(out, "yat> ")
 	}
 	return sc.Err()
 }
 
-func connect(m *mediator.Mediator, clients map[string]*wire.Client, name, addr string) error {
-	c, err := wire.Dial(addr)
+func connect(m *mediator.Mediator, clients map[string]*wire.Client, name, addr string, sess *dialConfig) error {
+	ctx := context.Background()
+	if sess.connectTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sess.connectTimeout)
+		defer cancel()
+	}
+	wopts := wire.Options{Retry: sess.retry}
+	if sess.inject != nil {
+		wopts.WrapConn = sess.inject.WrapConn
+	}
+	c, err := wire.DialWith(ctx, addr, wopts)
 	if err != nil {
 		return err
 	}
@@ -254,6 +358,39 @@ func printResult(out io.Writer, res *mediator.Result) {
 	if res.Stats.CacheHits > 0 || res.Stats.CacheMisses > 0 {
 		fmt.Fprintf(out, " cache: hits=%d misses=%d evictions=%d\n",
 			res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.CacheEvictions)
+	}
+	if res.Stats.Retries > 0 || res.Stats.Redials > 0 {
+		fmt.Fprintf(out, " recovered: retries=%d redials=%d\n", res.Stats.Retries, res.Stats.Redials)
+	}
+	for _, f := range res.SourceErrors {
+		// The chain repeats the source name at every wrapping layer; the
+		// console line wants the name once plus the root cause.
+		cause := f.Err
+		for e := cause; e != nil; e = errors.Unwrap(e) {
+			cause = e
+		}
+		fmt.Fprintf(out, " partial: source %s unavailable: %v\n", f.Source, cause)
+	}
+}
+
+func printHealth(out io.Writer, m *mediator.Mediator) {
+	health := m.Health()
+	names := make([]string, 0, len(health))
+	for n := range health {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(out, " no sources connected")
+		return
+	}
+	for _, n := range names {
+		h := health[n]
+		fmt.Fprintf(out, " %s: %s (failures=%d)", n, h.State, h.Failures)
+		if h.LastErr != "" {
+			fmt.Fprintf(out, " last: %s", h.LastErr)
+		}
+		fmt.Fprintln(out)
 	}
 }
 

@@ -73,7 +73,7 @@ func TestConsoleSession(t *testing.T) {
 	}, "\n") + "\n"
 	var out strings.Builder
 	// lint=true: the whole session must survive plan invariant checking.
-	if err := repl(strings.NewReader(session), &out, true, mediator.ExecOptions{Parallelism: 1}); err != nil {
+	if err := repl(strings.NewReader(session), &out, true, mediator.ExecOptions{Parallelism: 1}, &dialConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -104,7 +104,7 @@ func TestConsoleUsageErrors(t *testing.T) {
 		"exit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := repl(strings.NewReader(session), &out, false, mediator.ExecOptions{Parallelism: 4, Timeout: 30 * time.Second}); err != nil {
+	if err := repl(strings.NewReader(session), &out, false, mediator.ExecOptions{Parallelism: 4, Timeout: 30 * time.Second}, &dialConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

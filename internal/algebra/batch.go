@@ -155,10 +155,10 @@ func colSetOf(cols []string) map[string]bool {
 // (in first-occurrence order), plus the mapping from each outer row back to
 // its set, so results re-expand to exactly the per-row output.
 type DJoinBindings struct {
-	Vars []string             // the inner plan's free variables, sorted
+	Vars []string              // the inner plan's free variables, sorted
 	Sets []map[string]tab.Cell // distinct binding sets, first-occurrence order
-	Keys []string             // ParamsKey fragment per set, for cache keys
-	Row  []int                // outer row index -> Sets index
+	Keys []string              // ParamsKey fragment per set, for cache keys
+	Row  []int                 // outer row index -> Sets index
 }
 
 // NewDJoinBindings deduplicates the outer rows of a DJoin to distinct
@@ -296,6 +296,7 @@ func (s *DJoinSet) EvalChunk(ctx *Context, idxs []int) error {
 	} else {
 		res, err = s.batch.PushBatch(s.pushed.Plan, sets)
 	}
+	drainRetryStats(ctx, s.src)
 	if err != nil {
 		return fmt.Errorf("source %s: %w", s.source, err)
 	}

@@ -56,6 +56,9 @@ type Stats struct {
 	CacheHits      int // pushes answered by the wrapper-result cache
 	CacheMisses    int // cache probes that went to the source
 	CacheEvictions int // entries displaced by the cache's LRU bound
+
+	Retries int // transport exchanges retried after a transient failure
+	Redials int // stale pooled connections transparently redialed
 }
 
 // Add accumulates s2 into s.
@@ -69,6 +72,8 @@ func (s *Stats) Add(s2 Stats) {
 	s.CacheHits += s2.CacheHits
 	s.CacheMisses += s2.CacheMisses
 	s.CacheEvictions += s2.CacheEvictions
+	s.Retries += s2.Retries
+	s.Redials += s2.Redials
 }
 
 // Skolems mints stable identifiers: one per (function name, argument
@@ -145,6 +150,12 @@ type Context struct {
 	// PerRowDJoin disables set-at-a-time DJoin evaluation, restoring the
 	// one-push-per-outer-row baseline (kept for comparison experiments).
 	PerRowDJoin bool
+	// Partial, when non-nil, enables graceful degradation: source
+	// failures marked UnavailableError are recorded here and the failing
+	// input replaced by an empty one instead of aborting the query (see
+	// exec.Options.AllowPartial). Shared, not forked: every worker
+	// records into the same report.
+	Partial *PartialReport
 }
 
 // NewContext returns an empty evaluation context. The builtin function
@@ -235,6 +246,7 @@ func (c *Context) Input(name string) (data.Forest, error) {
 				} else {
 					f, err = s.Fetch(name)
 				}
+				drainRetryStats(c, s)
 				if err != nil {
 					return nil, err
 				}
@@ -910,6 +922,7 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 	} else {
 		t, err = src.Push(q.Plan, ctx.Params)
 	}
+	drainRetryStats(ctx, src)
 	if err != nil {
 		return nil, fmt.Errorf("source %s: %w", q.Source, err)
 	}

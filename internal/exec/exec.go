@@ -26,6 +26,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,6 +63,16 @@ type Options struct {
 	// algebra.ResultCache). The engine itself does not consume it: the
 	// cache must outlive individual queries to be useful.
 	CacheSize int
+	// AllowPartial enables graceful per-source degradation: when a plan
+	// branch fails because a source is unreachable
+	// (algebra.UnavailableError — transport failure after retries, or an
+	// open circuit breaker), the failure is recorded in the context's
+	// PartialReport and the branch contributes no rows, instead of the
+	// whole query failing. Degradation happens at Union branches and at
+	// the plan root, so a union across sources returns the live sources'
+	// rows; a plan rooted entirely in a dead source returns zero rows.
+	// Every returned row is still correct — the result is a lower bound.
+	AllowPartial bool
 }
 
 // Engine evaluates algebra plans with a bounded worker pool. It is safe for
@@ -105,7 +116,32 @@ func (e *Engine) Run(ctx context.Context, plan algebra.Op, actx *algebra.Context
 	if e.opts.PerRowDJoin {
 		ectx.PerRowDJoin = true
 	}
-	return e.eval(ctx, plan, ectx)
+	if e.opts.AllowPartial && ectx.Partial == nil {
+		// The caller usually pre-attaches a report (to read it back after
+		// the run); degrade into a private one otherwise.
+		ectx.Partial = algebra.NewPartialReport()
+	}
+	t, err := e.eval(ctx, plan, ectx)
+	if err != nil && e.degrade(ectx, err) {
+		// The whole plan roots in unreachable sources: the rows derivable
+		// from live sources are exactly none.
+		return tab.New(plan.Columns()...), nil
+	}
+	return t, err
+}
+
+// degrade reports whether err is a source-availability failure that
+// AllowPartial absorbs; if so it is recorded in the partial report.
+func (e *Engine) degrade(actx *algebra.Context, err error) bool {
+	if !e.opts.AllowPartial || actx.Partial == nil {
+		return false
+	}
+	var ue *algebra.UnavailableError
+	if !errors.As(err, &ue) {
+		return false
+	}
+	actx.Partial.Record(ue.Source, err)
+	return true
 }
 
 // lit wraps an evaluated input so an operator's own Eval can combine it.
@@ -184,6 +220,9 @@ func (e *Engine) eval(ctx context.Context, op algebra.Op, actx *algebra.Context)
 		}
 		return (&algebra.Join{L: lit(l), R: lit(r), Pred: x.Pred}).Eval(actx)
 	case *algebra.Union:
+		if e.opts.AllowPartial {
+			return e.evalUnionPartial(ctx, x, actx)
+		}
 		l, r, err := e.evalPair(ctx, x.L, x.R, actx)
 		if err != nil {
 			return nil, err
@@ -200,6 +239,57 @@ func (e *Engine) eval(ctx context.Context, op algebra.Op, actx *algebra.Context)
 	default:
 		return nil, fmt.Errorf("exec: unknown operator %T", op)
 	}
+}
+
+// evalUnionPartial evaluates a Union under graceful degradation: both
+// branches always evaluate (a failure on the left must not suppress the
+// live rows of the right), and a branch failing with UnavailableError is
+// recorded and replaced by its empty shape — the set-oriented counterpart
+// of the paper's §2 observation that partial results still compose. Any
+// other failure aborts as usual.
+func (e *Engine) evalUnionPartial(ctx context.Context, x *algebra.Union, actx *algebra.Context) (*tab.Tab, error) {
+	lt, rt, lerr, rerr := e.evalBoth(ctx, x.L, x.R, actx)
+	if lerr != nil {
+		if !e.degrade(actx, lerr) {
+			return nil, lerr
+		}
+		lt = tab.New(x.L.Columns()...)
+	}
+	if rerr != nil {
+		if !e.degrade(actx, rerr) {
+			return nil, rerr
+		}
+		rt = tab.New(x.R.Columns()...)
+	}
+	return (&algebra.Union{L: lit(lt), R: lit(rt)}).Eval(actx)
+}
+
+// evalBoth evaluates two independent subplans like evalPair, but always
+// carries both evaluations to completion and returns both errors — the
+// shape graceful degradation needs to keep the live branch's rows when the
+// other branch's source is down.
+func (e *Engine) evalBoth(ctx context.Context, l, r algebra.Op, actx *algebra.Context) (lt, rt *tab.Tab, lerr, rerr error) {
+	if e.opts.Parallelism > 1 && !(mintsSkolems(l) && mintsSkolems(r)) {
+		select {
+		case e.tokens <- struct{}{}:
+			rctx := actx.Fork()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				defer func() { <-e.tokens }()
+				rt, rerr = e.eval(ctx, r, rctx)
+			}()
+			lt, lerr = e.eval(ctx, l, actx)
+			<-done
+			actx.Stats.Add(*rctx.Stats)
+			return lt, rt, lerr, rerr
+		default:
+			// pool saturated: fall through to serial evaluation
+		}
+	}
+	lt, lerr = e.eval(ctx, l, actx)
+	rt, rerr = e.eval(ctx, r, actx)
+	return lt, rt, lerr, rerr
 }
 
 // evalPair evaluates two independent subplans, concurrently when a worker

@@ -1,0 +1,271 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/tab"
+	"repro/internal/wire"
+)
+
+// BreakerOptions configure the per-source circuit breakers guarding every
+// connected source. A source whose calls keep failing at the transport
+// level is declared down (breaker open): further calls fail fast with
+// algebra.UnavailableError instead of burning a dial-and-retry cycle each,
+// and AllowPartial queries degrade around it. After Cooldown one probe
+// call is let through (half-open); its outcome closes or re-opens the
+// breaker.
+type BreakerOptions struct {
+	// FailureThreshold is the number of consecutive transport failures
+	// that opens the breaker (0 = default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses calls before letting a
+	// probe through (0 = default 2s).
+	Cooldown time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Second
+	}
+	return o
+}
+
+// Breaker states. A breaker is closed (calls pass) until
+// FailureThreshold consecutive transport failures open it; open until the
+// cooldown elapses; then half-open, letting exactly one probe through.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one source's health state. Only transport-level failures
+// (wire.IsRetryable) count against it: a server-reported <error> frame or
+// a semantic failure proves the source alive and resets the count. A
+// caller's expired context does not count either — a query with a tight
+// budget must not poison the source's health for everyone else.
+type breaker struct {
+	opts BreakerOptions
+
+	mu      sync.Mutex
+	state   int
+	fails   int       // consecutive transport failures
+	until   time.Time // open: earliest probe time
+	lastErr error
+}
+
+// allow reports whether a call may proceed; when the breaker is open it
+// returns the error to fail fast with.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if time.Now().Before(b.until) {
+			return fmt.Errorf("circuit open after %d consecutive failures (last: %v)", b.fails, b.lastErr)
+		}
+		// Cooldown over: half-open, let this call probe. Concurrent
+		// callers keep failing fast until the probe resolves.
+		b.state = breakerHalfOpen
+		return nil
+	case breakerHalfOpen:
+		return fmt.Errorf("circuit half-open, probe in flight (last: %v)", b.lastErr)
+	default:
+		return nil
+	}
+}
+
+// done records a call outcome. transient marks transport-level failures;
+// semantic errors count as proof of life.
+func (b *breaker) done(err error, transient bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil || !transient {
+		b.state = breakerClosed
+		b.fails = 0
+		b.lastErr = nil
+		return
+	}
+	b.fails++
+	b.lastErr = err
+	if b.state == breakerHalfOpen || b.fails >= b.opts.FailureThreshold {
+		b.state = breakerOpen
+		b.until = time.Now().Add(b.opts.Cooldown)
+	}
+}
+
+// snapshot reports the breaker's current state for Health.
+func (b *breaker) snapshot() SourceHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := SourceHealth{Failures: b.fails}
+	switch b.state {
+	case breakerOpen:
+		h.State = "open"
+	case breakerHalfOpen:
+		h.State = "half-open"
+	default:
+		h.State = "closed"
+	}
+	if b.lastErr != nil {
+		h.LastErr = b.lastErr.Error()
+	}
+	return h
+}
+
+// SourceHealth is one source's breaker state as reported by
+// Mediator.Health.
+type SourceHealth struct {
+	State    string // "closed", "open" or "half-open"
+	Failures int    // consecutive transport failures
+	LastErr  string // most recent transport failure, if any
+}
+
+// transient classifies an error as a transport-level availability failure
+// — the class that trips breakers and that AllowPartial degrades around.
+func transient(err error) bool { return wire.IsRetryable(err) }
+
+// guard wraps a connected source with its circuit breaker: calls fail fast
+// while the breaker is open, transport failures are wrapped in
+// algebra.UnavailableError (the marker graceful degradation keys on) and
+// recorded, successes and semantic errors reset the breaker.
+type guard struct {
+	name string
+	src  algebra.Source
+	br   *breaker
+}
+
+// guardSource wraps src with its breaker, preserving the BatchSource
+// capability exactly when the underlying source has it (the DJoin batch
+// path type-asserts for it).
+func guardSource(name string, src algebra.Source, br *breaker) algebra.Source {
+	g := &guard{name: name, src: src, br: br}
+	if _, ok := src.(algebra.BatchSource); ok {
+		return &guardBatch{guard: g}
+	}
+	return g
+}
+
+// call runs one source call through the breaker.
+func (g *guard) call(fn func() error) error {
+	if err := g.br.allow(); err != nil {
+		return &algebra.UnavailableError{Source: g.name, Err: err}
+	}
+	err := fn()
+	tr := err != nil && transient(err)
+	g.br.done(err, tr)
+	if tr {
+		return &algebra.UnavailableError{Source: g.name, Err: err}
+	}
+	return err
+}
+
+// Name implements algebra.Source.
+func (g *guard) Name() string { return g.src.Name() }
+
+// Documents implements algebra.Source (local metadata; no breaker).
+func (g *guard) Documents() []string { return g.src.Documents() }
+
+// Fetch implements algebra.Source.
+func (g *guard) Fetch(doc string) (data.Forest, error) {
+	var f data.Forest
+	err := g.call(func() (e error) { f, e = g.src.Fetch(doc); return })
+	return f, err
+}
+
+// FetchContext implements algebra.ContextSource, falling back to the plain
+// call when the underlying source is not context-aware.
+func (g *guard) FetchContext(ctx context.Context, doc string) (data.Forest, error) {
+	var f data.Forest
+	err := g.call(func() (e error) {
+		if cs, ok := g.src.(algebra.ContextSource); ok {
+			f, e = cs.FetchContext(ctx, doc)
+		} else {
+			f, e = g.src.Fetch(doc)
+		}
+		return
+	})
+	return f, err
+}
+
+// Push implements algebra.Source.
+func (g *guard) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	var t *tab.Tab
+	err := g.call(func() (e error) { t, e = g.src.Push(plan, params); return })
+	return t, err
+}
+
+// PushContext implements algebra.ContextSource.
+func (g *guard) PushContext(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	var t *tab.Tab
+	err := g.call(func() (e error) {
+		if cs, ok := g.src.(algebra.ContextSource); ok {
+			t, e = cs.PushContext(ctx, plan, params)
+		} else {
+			t, e = g.src.Push(plan, params)
+		}
+		return
+	})
+	return t, err
+}
+
+// TakeRetryStats implements algebra.RetryReporter by forwarding to the
+// underlying source's transport layer.
+func (g *guard) TakeRetryStats() (retries, redials int) {
+	if rr, ok := g.src.(algebra.RetryReporter); ok {
+		return rr.TakeRetryStats()
+	}
+	return 0, 0
+}
+
+// guardBatch adds the BatchSource methods for sources that have them.
+type guardBatch struct{ *guard }
+
+// PushBatch implements algebra.BatchSource.
+func (g *guardBatch) PushBatch(plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	var ts []*tab.Tab
+	err := g.call(func() (e error) {
+		ts, e = g.src.(algebra.BatchSource).PushBatch(plan, bindings)
+		return
+	})
+	return ts, err
+}
+
+// PushBatchContext implements algebra.BatchSource.
+func (g *guardBatch) PushBatchContext(ctx context.Context, plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	var ts []*tab.Tab
+	err := g.call(func() (e error) {
+		ts, e = g.src.(algebra.BatchSource).PushBatchContext(ctx, plan, bindings)
+		return
+	})
+	return ts, err
+}
+
+// breakerFor returns (creating on first use) the named source's breaker.
+func (m *Mediator) breakerFor(name string) *breaker {
+	m.healthMu.Lock()
+	defer m.healthMu.Unlock()
+	if b, ok := m.health[name]; ok {
+		return b
+	}
+	b := &breaker{opts: m.Breaker.withDefaults()}
+	m.health[name] = b
+	return b
+}
+
+// Health reports every connected source's breaker state.
+func (m *Mediator) Health() map[string]SourceHealth {
+	out := make(map[string]SourceHealth, len(m.sources))
+	for name := range m.sources {
+		out[name] = m.breakerFor(name).snapshot()
+	}
+	return out
+}

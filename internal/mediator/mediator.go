@@ -38,6 +38,9 @@ type Mediator struct {
 	// rewriting step and again immediately before execution; a violation
 	// aborts the query instead of producing a wrong answer.
 	CheckInvariants bool
+	// Breaker configures the per-source circuit breakers (zero value =
+	// defaults: 3 consecutive transport failures open a breaker for 2s).
+	Breaker BreakerOptions
 
 	// cache, when installed (EnableCache or ExecOptions.CacheSize),
 	// memoizes wrapper results across the rows of one DJoin and across
@@ -45,6 +48,12 @@ type Mediator struct {
 	// thread-safe.
 	cacheMu sync.Mutex
 	cache   *algebra.ResultCache
+
+	// health holds one circuit breaker per connected source, created
+	// lazily and shared across queries so failures accumulate and an open
+	// breaker protects every caller.
+	healthMu sync.Mutex
+	health   map[string]*breaker
 }
 
 // View is a registered YAT_L rule with its algebraic translation.
@@ -62,6 +71,7 @@ func New() *Mediator {
 		structures: map[string]optimizer.Structure{},
 		funcs:      map[string]algebra.Func{},
 		views:      map[string]*View{},
+		health:     map[string]*breaker{},
 	}
 }
 
@@ -184,7 +194,7 @@ func (m *Mediator) newContext() *algebra.Context {
 	ctx := algebra.NewContext()
 	ctx.Cache = m.resultCache()
 	for n, s := range m.sources {
-		ctx.Sources[n] = s
+		ctx.Sources[n] = guardSource(n, s, m.breakerFor(n))
 	}
 	for n, f := range m.funcs {
 		ctx.Funcs[n] = f
@@ -369,11 +379,15 @@ func (m *Mediator) Optimize(plan algebra.Op) algebra.Op {
 }
 
 // Result bundles a query outcome with its plans and execution counters.
+// SourceErrors is non-empty only for AllowPartial executions that degraded:
+// it lists the sources the query could not reach, and marks the rows as a
+// lower bound of the complete answer.
 type Result struct {
-	Tab       *tab.Tab
-	NaivePlan string
-	Plan      string
-	Stats     algebra.Stats
+	Tab          *tab.Tab
+	NaivePlan    string
+	Plan         string
+	Stats        algebra.Stats
+	SourceErrors []algebra.SourceFailure
 }
 
 // Query composes, optimizes and executes a YAT_L query.
@@ -433,16 +447,57 @@ func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts Exe
 		return nil, err
 	}
 	actx := m.newContext()
+	if opts.AllowPartial {
+		// Pre-attach the report: Run operates on a shallow copy of the
+		// context, so a report it creates itself would be unreadable here.
+		actx.Partial = algebra.NewPartialReport()
+	}
 	t, err := exec.New(opts).Run(ctx, opt, actx)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Tab:       t,
 		NaivePlan: algebra.Describe(naive),
 		Plan:      algebra.Describe(opt),
 		Stats:     *actx.Stats,
-	}, nil
+	}
+	if actx.Partial != nil {
+		res.SourceErrors = actx.Partial.Failures()
+	}
+	return res, nil
+}
+
+// ExecutePlan executes an already-built algebra plan on the execution
+// engine, under the mediator's catalog, guards and (with CheckInvariants)
+// the planlint gate. It serves callers that assemble plans outside the
+// YAT_L pipeline — tests exercising degradation shapes, or tools replaying
+// optimizer output — with the same health tracking and partial-result
+// reporting as ExecuteContext.
+func (m *Mediator) ExecutePlan(ctx context.Context, plan algebra.Op, opts ExecOptions) (*Result, error) {
+	if opts.CacheSize > 0 {
+		m.ensureCache(opts.CacheSize)
+	}
+	if err := m.lintBeforeExec("custom", plan); err != nil {
+		return nil, err
+	}
+	actx := m.newContext()
+	if opts.AllowPartial {
+		actx.Partial = algebra.NewPartialReport()
+	}
+	t, err := exec.New(opts).Run(ctx, plan, actx)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Tab:   t,
+		Plan:  algebra.Describe(plan),
+		Stats: *actx.Stats,
+	}
+	if actx.Partial != nil {
+		res.SourceErrors = actx.Partial.Failures()
+	}
+	return res, nil
 }
 
 // QueryCustom composes and executes a query with a tuned optimizer

@@ -26,17 +26,17 @@ import (
 
 // Diagnostic codes.
 const (
-	CodeNilPlan       = "nil-plan"        // a nil operator or child
-	CodeUnboundVar    = "unbound-var"     // expression references a variable no input provides
-	CodeUnknownColumn = "unknown-column"  // operator names a column its input lacks
-	CodeDuplicateCol  = "duplicate-col"   // an operator introduces a column that already exists
-	CodeArity         = "arity"           // Union/Intersect inputs with different widths
-	CodeSkolemArity   = "skolem-arity"    // one Skolem function used with two arities
-	CodePattern       = "pattern"         // filter incompatible with the document's declared type
-	CodeCapability    = "capability"      // pushed subplan exceeds the source's interface
-	CodeUnknownDoc    = "unknown-doc"     // named document no source or catalog exports
-	CodeMalformed     = "malformed"       // an operator form Eval and Columns disagree on
-	CodeBatchShape    = "batch-shape"     // DJoin inner plan reads parameters nothing provides
+	CodeNilPlan       = "nil-plan"       // a nil operator or child
+	CodeUnboundVar    = "unbound-var"    // expression references a variable no input provides
+	CodeUnknownColumn = "unknown-column" // operator names a column its input lacks
+	CodeDuplicateCol  = "duplicate-col"  // an operator introduces a column that already exists
+	CodeArity         = "arity"          // Union/Intersect inputs with different widths
+	CodeSkolemArity   = "skolem-arity"   // one Skolem function used with two arities
+	CodePattern       = "pattern"        // filter incompatible with the document's declared type
+	CodeCapability    = "capability"     // pushed subplan exceeds the source's interface
+	CodeUnknownDoc    = "unknown-doc"    // named document no source or catalog exports
+	CodeMalformed     = "malformed"      // an operator form Eval and Columns disagree on
+	CodeBatchShape    = "batch-shape"    // DJoin inner plan reads parameters nothing provides
 )
 
 // Diagnostic is one invariant violation, located by a plan path: operator

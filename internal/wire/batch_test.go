@@ -192,9 +192,9 @@ func (s *stallSource) setDelay(d time.Duration) {
 	s.mu.Unlock()
 }
 
-func (s *stallSource) Name() string                            { return "stall" }
-func (s *stallSource) Documents() []string                     { return nil }
-func (s *stallSource) Fetch(string) (data.Forest, error)       { return nil, fmt.Errorf("no docs") }
+func (s *stallSource) Name() string                      { return "stall" }
+func (s *stallSource) Documents() []string               { return nil }
+func (s *stallSource) Fetch(string) (data.Forest, error) { return nil, fmt.Errorf("no docs") }
 func (s *stallSource) Push(algebra.Op, map[string]tab.Cell) (*tab.Tab, error) {
 	s.mu.Lock()
 	d := s.delay

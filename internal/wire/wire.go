@@ -30,10 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -61,6 +63,127 @@ const DefaultWriteTimeout = 30 * time.Second
 // DefaultMaxConns bounds the connection pool a Client grows on demand when
 // the parallel execution engine issues overlapping requests.
 const DefaultMaxConns = 8
+
+// DefaultMaxConnIdle bounds how long a pooled connection may sit parked
+// before the client drops it instead of reusing it. Servers disconnect
+// idle clients (DefaultIdleTimeout), so a conn parked longer than the
+// server's idle window has likely been hung up on already; reusing it
+// yields a bare EOF on the next request. This bound must stay below the
+// serving side's idle deadline.
+const DefaultMaxConnIdle = time.Minute
+
+// ErrClientClosed is returned for requests issued on a closed client —
+// including requests racing Close that would otherwise fail with a
+// confusing EOF from a just-closed pooled connection.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// RemoteError is a server-reported <error> frame: the wrapper is alive,
+// received the request and answered that it cannot serve it. Retrying
+// cannot help, so RemoteError is never retried.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// CorruptError marks a response frame that arrived whole but whose XML
+// does not parse — a transport-level corruption (e.g. a garbling
+// middlebox). The request is a read-only query, so the exchange is
+// retryable like any other transport failure.
+type CorruptError struct{ Err error }
+
+// Error implements error.
+func (e *CorruptError) Error() string { return fmt.Sprintf("wire: corrupt response: %v", e.Err) }
+
+// Unwrap exposes the parse failure.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsRetryable classifies an error from a wire exchange: true for
+// transport-level failures — broken, reset or refused connections,
+// connection timeouts not caused by the caller's context, truncated or
+// corrupt frames — where retrying the idempotent request may succeed;
+// false for semantic outcomes: a server-reported <error> (RemoteError), a
+// closed client, or the caller's context expiring (its budget is spent,
+// retrying would only overrun it further).
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrClientClosed) {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// RetryPolicy bounds the client's transparent retries. Every request the
+// client issues (hello, fetch, push, pushbatch) is a read-only query,
+// hence idempotent: re-sending a failed exchange cannot duplicate effects
+// at the wrapper. Retries apply only to transport failures (IsRetryable);
+// RemoteError and context cancellation return immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per request including
+	// the first; values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; every further
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+	// Jitter randomizes each backoff multiplicatively within
+	// [1-Jitter, 1+Jitter], decorrelating the retry storms of concurrent
+	// requests.
+	Jitter float64
+	// Seed seeds the jitter stream, making retry timing reproducible.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the policy installed by Dial/DialPool.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	BaseDelay:   5 * time.Millisecond,
+	MaxDelay:    250 * time.Millisecond,
+	Jitter:      0.5,
+	Seed:        1,
+}
+
+// backoff computes the wait before retry number `retry` (0-based): an
+// exponentially grown BaseDelay capped at MaxDelay, jittered by rnd ∈ [0,1).
+func (p RetryPolicy) backoff(retry int, rnd float64) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseDelay
+	}
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rnd-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
 
 // WriteFrame writes one length-prefixed XML payload.
 func WriteFrame(w io.Writer, payload string) error {
@@ -336,10 +459,28 @@ type Client struct {
 	name string
 	docs []string
 
+	// dial opens one new connection; Options.WrapConn (fault injection)
+	// hooks it. maxIdle bounds how long a parked connection stays
+	// reusable; retry is the transport retry policy.
+	dial    func(ctx context.Context) (net.Conn, error)
+	maxIdle time.Duration
+	retry   RetryPolicy
+
+	// retries and redials count transport-level retry work; the mediator
+	// drains them into algebra.Stats after every source call (see
+	// TakeRetryStats).
+	retries atomic.Int64
+	redials atomic.Int64
+
+	// rng drives backoff jitter, deterministic under the policy's seed.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	// tokens bounds in-flight requests: one token is held per request.
 	tokens chan struct{}
-	// idle parks connections between requests for reuse.
-	idle chan net.Conn
+	// idle parks connections between requests for reuse, stamped with the
+	// park time so conns idle past maxIdle are dropped, not reused.
+	idle chan pooled
 
 	// encs memoizes canonical plan encodings by plan node, so a DJoin
 	// pushing one inner plan many times (chunked batches, or the per-row
@@ -377,23 +518,93 @@ func (c *Client) encodePlan(plan algebra.Op) (string, error) {
 	return s, nil
 }
 
+// pooled is a parked connection stamped with its park time.
+type pooled struct {
+	conn   net.Conn
+	parked time.Time
+}
+
 // Dial connects to a wrapper with the default pool bound and performs the
 // hello exchange.
 func Dial(addr string) (*Client, error) { return DialPool(addr, DefaultMaxConns) }
 
 // DialPool is Dial with an explicit connection-pool bound (minimum 1).
 func DialPool(addr string, maxConns int) (*Client, error) {
+	return DialPoolContext(context.Background(), addr, maxConns)
+}
+
+// DialPoolContext is DialPool under a cancellation context: both the TCP
+// dial and the hello exchange respect the context's deadline, so startup
+// against a black-holed or dead address fails when the deadline passes
+// instead of hanging for the OS connect timeout.
+func DialPoolContext(ctx context.Context, addr string, maxConns int) (*Client, error) {
 	if maxConns < 1 {
 		maxConns = 1
 	}
-	c := &Client{
-		addr:   addr,
-		tokens: make(chan struct{}, maxConns),
-		idle:   make(chan net.Conn, maxConns),
-		encs:   map[algebra.Op]string{},
-		conns:  map[net.Conn]bool{},
+	return DialWith(ctx, addr, Options{MaxConns: maxConns})
+}
+
+// Options configure DialWith.
+type Options struct {
+	// MaxConns bounds the connection pool (0 = DefaultMaxConns, minimum 1).
+	MaxConns int
+	// Retry overrides the transport retry policy; nil means
+	// DefaultRetryPolicy, and a policy with MaxAttempts <= 1 disables
+	// retrying.
+	Retry *RetryPolicy
+	// MaxConnIdle drops pooled connections parked longer than this
+	// instead of reusing them (0 = DefaultMaxConnIdle, negative = no
+	// bound). Keep it below the server's idle deadline.
+	MaxConnIdle time.Duration
+	// WrapConn, when non-nil, wraps every new connection — the fault
+	// injection hook (see internal/faults).
+	WrapConn func(net.Conn) net.Conn
+}
+
+// DialWith is the fully configurable dial: pool bound, retry policy,
+// pooled-connection freshness bound and connection wrapping.
+func DialWith(ctx context.Context, addr string, opts Options) (*Client, error) {
+	maxConns := opts.MaxConns
+	if maxConns == 0 {
+		maxConns = DefaultMaxConns
 	}
-	resp, err := c.roundTrip(`<hello/>`)
+	if maxConns < 1 {
+		maxConns = 1
+	}
+	retry := DefaultRetryPolicy
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
+	maxIdle := opts.MaxConnIdle
+	if maxIdle == 0 {
+		maxIdle = DefaultMaxConnIdle
+	}
+	if maxIdle < 0 {
+		maxIdle = 0 // explicit "no freshness bound"
+	}
+	c := &Client{
+		addr:    addr,
+		maxIdle: maxIdle,
+		retry:   retry,
+		rng:     rand.New(rand.NewSource(retry.Seed)),
+		tokens:  make(chan struct{}, maxConns),
+		idle:    make(chan pooled, maxConns),
+		encs:    map[algebra.Op]string{},
+		conns:   map[net.Conn]bool{},
+	}
+	wrap := opts.WrapConn
+	c.dial = func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if wrap != nil {
+			conn = wrap(conn)
+		}
+		return conn, nil
+	}
+	resp, err := c.roundTripCtx(ctx, `<hello/>`)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -405,42 +616,83 @@ func DialPool(addr string, maxConns int) (*Client, error) {
 	return c, nil
 }
 
+// TakeRetryStats drains and returns the transport retry counters
+// accumulated since the last call: retries are backed-off re-attempts of
+// failed exchanges, redials the transparent redials of stale pooled
+// connections. Implements algebra.RetryReporter, so evaluation folds these
+// into Stats after every source call without double-counting pushes.
+func (c *Client) TakeRetryStats() (retries, redials int) {
+	return int(c.retries.Swap(0)), int(c.redials.Swap(0))
+}
+
 // acquire obtains a connection for one request: it waits for an in-flight
-// slot (or context cancellation), then reuses an idle connection or dials a
-// new one.
-func (c *Client) acquire(ctx context.Context) (net.Conn, error) {
+// slot (or context cancellation), then reuses a parked connection that is
+// still fresh, or dials a new one. reused tells the caller the connection
+// may have been closed by the server while parked (the stale-connection
+// redial in roundTripCtx).
+func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err error) {
 	select {
 	case c.tokens <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
-	select {
-	case conn := <-c.idle:
-		return conn, nil
-	default:
+	for {
+		var p pooled
+		select {
+		case p = <-c.idle:
+		default:
+		}
+		if p.conn == nil {
+			break
+		}
+		// A request racing Close must get the explicit closed error on
+		// the idle-reuse path too, not a confusing EOF from the conn
+		// Close just closed under us.
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			c.drop(p.conn)
+			<-c.tokens
+			return nil, false, ErrClientClosed
+		}
+		// A conn parked past the freshness bound has likely been hung up
+		// on by the server's idle deadline; drop it and keep draining.
+		if c.maxIdle > 0 && time.Since(p.parked) > c.maxIdle {
+			c.drop(p.conn)
+			continue
+		}
+		return p.conn, true, nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		<-c.tokens
+		return nil, false, ErrClientClosed
+	}
+	nc, err := c.dial(ctx)
 	if err != nil {
 		<-c.tokens
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		conn.Close()
+		nc.Close()
 		<-c.tokens
-		return nil, fmt.Errorf("wire: client closed")
+		return nil, false, ErrClientClosed
 	}
-	c.conns[conn] = true
+	c.conns[nc] = true
 	c.mu.Unlock()
-	return conn, nil
+	return nc, false, nil
 }
 
 // release parks a healthy connection for reuse and frees its slot.
 func (c *Client) release(conn net.Conn) {
 	conn.SetDeadline(time.Time{})
 	select {
-	case c.idle <- conn:
+	case c.idle <- pooled{conn: conn, parked: time.Now()}:
 	default: // cannot happen: idle capacity equals the slot count
 		c.drop(conn)
 	}
@@ -501,14 +753,31 @@ func (c *Client) roundTrip(req string) (*data.Node, error) {
 	return c.roundTripCtx(context.Background(), req)
 }
 
-// roundTripCtx performs one request/response exchange under a cancellation
+// countReader counts the bytes delivered through it: the stale-connection
+// redial must know whether any response byte had arrived when an exchange
+// failed.
+type countReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// exchange performs one request/response attempt under a cancellation
 // context: the context's deadline becomes the connection deadline, and a
 // cancellation unblocks any pending read immediately, so a dead wrapper
-// cannot hang a query.
-func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, error) {
-	conn, err := c.acquire(ctx)
+// cannot hang a query. It reports whether the connection came reused from
+// the idle pool and how many response bytes had arrived when the exchange
+// failed — a reused conn failing with zero response bytes is the
+// stale-connection signature.
+func (c *Client) exchange(ctx context.Context, req string) (resp string, reused bool, got int, err error) {
+	conn, reused, err := c.acquire(ctx)
 	if err != nil {
-		return nil, err
+		return "", reused, 0, err
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
@@ -527,9 +796,9 @@ func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, erro
 	} else {
 		close(watchExit)
 	}
-	var resp string
+	cr := &countReader{r: conn}
 	if err = WriteFrame(conn, req); err == nil {
-		resp, err = ReadFrame(conn)
+		resp, err = ReadFrame(cr)
 	}
 	close(watchDone)
 	// Join the watchdog before deciding the connection's fate: a
@@ -546,25 +815,82 @@ func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, erro
 	if err != nil {
 		c.discard(conn)
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
+			return "", reused, cr.n, ctxErr
 		}
 		// The connection deadline came from the context; it can fire a tick
 		// before the context's own timer does.
 		var ne net.Error
 		if _, hasDeadline := ctx.Deadline(); hasDeadline && errors.As(err, &ne) && ne.Timeout() {
-			return nil, context.DeadlineExceeded
+			return "", reused, cr.n, context.DeadlineExceeded
 		}
-		return nil, err
+		return "", reused, cr.n, err
 	}
 	c.release(conn)
-	n, err := xmlenc.Parse(resp)
-	if err != nil {
-		return nil, err
+	return resp, reused, cr.n, nil
+}
+
+// jitterRand draws one jitter sample from the client's seeded stream.
+func (c *Client) jitterRand() float64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Float64()
+}
+
+// roundTripCtx performs one request/response exchange under a cancellation
+// context, transparently retrying transport failures: every request the
+// client sends is a read-only query (hello, fetch, push, pushbatch), hence
+// idempotent. Retry k waits BaseDelay·2^(k-1), jittered and capped at
+// MaxDelay, and gives up early when the context's remaining budget cannot
+// cover the wait. Only transport-class failures retry (IsRetryable);
+// server <error> frames and context cancellation return immediately.
+//
+// One failure mode is handled without burning a retry attempt: a pooled
+// connection reused after an idle gap may have been closed by the server's
+// idle deadline, in which case the first request on it fails before any
+// response byte arrives. That exchange redials-and-retries once
+// immediately (counted in redials, not retries).
+func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, error) {
+	redialBudget := 1
+	for attempt := 1; ; {
+		resp, reused, got, err := c.exchange(ctx, req)
+		if err == nil {
+			n, perr := xmlenc.Parse(resp)
+			if perr == nil {
+				if n.Label == "error" {
+					return nil, &RemoteError{Msg: attr(n, "msg")}
+				}
+				return n, nil
+			}
+			// The frame arrived whole but its XML is broken: transport
+			// corruption, retryable like any other transport failure.
+			err = &CorruptError{Err: perr}
+		}
+		if !IsRetryable(err) {
+			return nil, err
+		}
+		if reused && got == 0 && redialBudget > 0 {
+			// Stale pooled connection: the server hung up while the conn
+			// was parked and the request never got an answer started.
+			// Redial immediately, once, without consuming a retry.
+			redialBudget--
+			c.redials.Add(1)
+			continue
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return nil, err
+		}
+		d := c.retry.backoff(attempt-1, c.jitterRand())
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+			return nil, err // the context budget cannot cover the wait
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		attempt++
+		c.retries.Add(1)
 	}
-	if n.Label == "error" {
-		return nil, fmt.Errorf("wire: remote error: %s", attr(n, "msg"))
-	}
-	return n, nil
 }
 
 // Name implements algebra.Source.

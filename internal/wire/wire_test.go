@@ -10,7 +10,6 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/datagen"
 	"repro/internal/filter"
-	"repro/internal/mediator"
 	"repro/internal/o2wrap"
 	"repro/internal/waiswrap"
 )
@@ -168,64 +167,6 @@ func TestRemotePushMatchesLocal(t *testing.T) {
 	}
 }
 
-func TestDistributedFigure2Deployment(t *testing.T) {
-	// The full Figure 2 scenario over TCP: two wrapper servers, a mediator
-	// connecting through wire clients, view1 loaded, Q1 and Q2 evaluated.
-	o2srv, _ := serveO2(t)
-	waissrv, _ := serveWais(t)
-
-	m := mediator.New()
-	for _, addr := range []string{o2srv.Addr(), waissrv.Addr()} {
-		c, err := Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer c.Close()
-		iface, err := c.ImportInterface()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := m.Connect(c, iface); err != nil {
-			t.Fatal(err)
-		}
-		sts, err := c.ImportStructures()
-		if err != nil {
-			t.Fatal(err)
-		}
-		for doc, ref := range sts {
-			m.ImportStructure(doc, ref.Model, ref.Pattern)
-		}
-	}
-	m.RegisterFunc("contains", waiswrap.Contains)
-	if err := m.LoadProgram(datagen.View1Src); err != nil {
-		t.Fatal(err)
-	}
-	m.Assume("artifacts", "works", "$y > 1800")
-	m.Assume("persons", "works", "$y > 1800")
-
-	q1, err := m.Query(datagen.Q1Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if q1.Tab.Len() != 1 {
-		t.Fatalf("distributed Q1 rows = %d\n%s", q1.Tab.Len(), q1.Plan)
-	}
-	if a, _ := q1.Tab.Rows[0][0].AsAtom(); a.S != "Nympheas" {
-		t.Errorf("Q1 = %v", q1.Tab.Rows[0])
-	}
-
-	q2, err := m.Query(datagen.Q2Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if q2.Tab.Len() != 1 || q2.Tab.Rows[0][0].Tree.Child("title").Atom.S != "Waterloo Bridge" {
-		t.Fatalf("distributed Q2 = %s\nplan:\n%s", q2.Tab, q2.Plan)
-	}
-	if !strings.Contains(q2.Plan, "SourceQuery") {
-		t.Errorf("distributed plan must push to sources:\n%s", q2.Plan)
-	}
-}
-
 func TestServerRejectsGarbage(t *testing.T) {
 	srv, _ := serveO2(t)
 	conn, err := net.Dial("tcp", srv.Addr())
@@ -282,46 +223,5 @@ func TestServerIdleTimeoutDisconnects(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed >= 5*time.Second {
 		t.Fatalf("disconnect took %v: idle deadline did not fire", elapsed)
-	}
-}
-
-func TestDistributedNaiveQueryAgrees(t *testing.T) {
-	// Even the naive strategy (materialize the view from fetched documents)
-	// works over the wire and agrees with the optimized result: fetched
-	// atoms are retyped so year comparisons behave.
-	o2srv, _ := serveO2(t)
-	waissrv, _ := serveWais(t)
-	m := mediator.New()
-	for _, addr := range []string{o2srv.Addr(), waissrv.Addr()} {
-		c, err := Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer c.Close()
-		iface, err := c.ImportInterface()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := m.Connect(c, iface); err != nil {
-			t.Fatal(err)
-		}
-	}
-	m.RegisterFunc("contains", waiswrap.Contains)
-	if err := m.LoadProgram(datagen.View1Src); err != nil {
-		t.Fatal(err)
-	}
-	naive, err := m.QueryNaive(datagen.Q1Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opt, err := m.Query(datagen.Q1Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if naive.Tab.Len() != 1 || !naive.Tab.EqualUnordered(opt.Tab) {
-		t.Errorf("naive:\n%s\noptimized:\n%s", naive.Tab, opt.Tab)
-	}
-	if naive.Stats.SourceFetches == 0 {
-		t.Error("naive strategy must fetch documents")
 	}
 }
