@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix
+.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke bench-trace
 
-check: build vet test lint fault-matrix bench-smoke
+check: build vet test lint fault-matrix bench-smoke profile-smoke
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,20 @@ bench-smoke:
 fault-matrix:
 	$(GO) test -race -run 'TestFaultMatrix|TestOnePercentFaultRate|TestAllowPartial|TestBreaker' ./internal/mediator ./internal/wire ./internal/faults
 
-# Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs cached vs
-# 1%-fault recovery) for CI trend tracking; asserts row equality across all
-# variants as it runs.
+# Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs traced vs
+# cached vs 1%-fault recovery) for CI trend tracking; asserts row equality
+# across all variants as it runs.
 bench-json:
-	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR4.json
+	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR5.json
+
+# End-to-end observability smoke: both wrappers and the mediator console as
+# real processes, `profile` on Q2, the rendered span tree checked for
+# per-operator lines, the exported Chrome trace validated as JSON, and the
+# /metrics endpoints probed. See scripts/profile_smoke.sh.
+profile-smoke:
+	./scripts/profile_smoke.sh
+
+# Tracing-overhead benchmark: Fig. 9 Q2 batched with ExecOptions.Trace off
+# vs. on (one iteration in CI; run without -benchtime for real numbers).
+bench-trace:
+	$(GO) test -bench 'BenchmarkTraceOverhead' -benchtime=1x -run XXX .

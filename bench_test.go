@@ -648,3 +648,55 @@ func BenchmarkE14OptimizerOverhead(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// E18: tracing overhead
+// ---------------------------------------------------------------------------
+
+// BenchmarkTraceOverhead measures what per-operator tracing costs on Fig. 9's
+// Q2 over live wire wrappers (no injected latency, so the mediator-side work
+// dominates and any tracing cost is maximally visible). With Trace off, the
+// only addition to the hot path is one nil check per operator evaluation —
+// Off must stay within noise of the pre-observability baseline (the <2%
+// acceptance bound on BenchmarkFig9Q2Batched); On prices the full span tree.
+func BenchmarkTraceOverhead(b *testing.B) {
+	w := datagen.Generate(datagen.DefaultParams(1000))
+	m := wireMediator(b, w, 0)
+	ctx := context.Background()
+
+	off := mediator.ExecOptions{Parallelism: 1}
+	on := mediator.ExecOptions{Parallelism: 1, Trace: true}
+	plain, err := m.ExecuteContext(ctx, Q2, off)
+	if err != nil {
+		b.Fatal(err)
+	}
+	traced, err := m.ExecuteContext(ctx, Q2, on)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !plain.Tab.Equal(traced.Tab) {
+		b.Fatal("tracing changed the result rows")
+	}
+	if traced.Trace == nil || traced.Trace.SpanCount() < 2 {
+		b.Fatal("traced run collected no span tree")
+	}
+	spans := traced.Trace.SpanCount()
+
+	b.Run("Off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteContext(ctx, Q2, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("On", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteContext(ctx, Q2, on); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(spans), "spans")
+	})
+}

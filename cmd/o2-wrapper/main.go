@@ -5,10 +5,15 @@
 // Usage:
 //
 //	o2-wrapper -port 6066 [-artifacts 0] [-seed 42] [-system cultural] [-base art]
+//	           [-metrics-addr HOST:PORT]
 //
 // With -artifacts 0 (the default) the wrapper serves the paper's running
 // example (Nympheas, Waterloo Bridge, Old Canvas); larger values serve a
 // deterministic generated trading database of that size.
+//
+// With -metrics-addr the wrapper serves request counters and latency
+// histograms as JSON on /metrics plus pprof under /debug/pprof/, and
+// records per-request spans that carry the mediator's trace id.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/o2"
 	"repro/internal/o2wrap"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -29,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	system := flag.String("system", "cultural", "system name (cosmetic, as in Figure 2)")
 	base := flag.String("base", "art", "base name (cosmetic, as in Figure 2)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address")
 	flag.Parse()
 
 	var db *o2.DB
@@ -47,14 +54,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "o2-wrapper: %v\n", err)
 		os.Exit(1)
 	}
-	srv := wire.Serve(ln, wire.Exported{
+	exp := wire.Exported{
 		Source:    w,
 		Interface: w.ExportInterface(),
 		Structures: map[string]wire.StructureRef{
 			"artifacts": {Model: schema, Pattern: "Artifact"},
 			"persons":   {Model: schema, Pattern: "Person"},
 		},
-	})
+	}
+	if *metricsAddr != "" {
+		exp.Obs = obs.NewObserver(nil)
+		plane, err := obs.Serve(*metricsAddr, exp.Obs.Reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "o2-wrapper: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer plane.Close()
+		fmt.Printf(" metrics and pprof at http://%s/\n", plane.Addr)
+	}
+	srv := wire.Serve(ln, exp)
 	host, _ := os.Hostname()
 	fmt.Printf(" o2-wrapper is running at %s:%d (system %s, base %s: %d artifacts, %d persons)\n",
 		host, *port, *system, *base, db.ExtentSize("artifacts"), db.ExtentSize("persons"))

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	xmlwais-wrapper -port 6060 [-works 0] [-seed 42] [-directory museum.src]
+//	                [-metrics-addr HOST:PORT]
+//
+// With -metrics-addr the wrapper serves request counters and latency
+// histograms as JSON on /metrics plus pprof under /debug/pprof/, and
+// records per-request spans that carry the mediator's trace id.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/wais"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
@@ -27,6 +33,7 @@ func main() {
 	works := flag.Int("works", 0, "size of the generated collection (0: paper example)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	directory := flag.String("directory", "", "Wais source configuration file (museum.src format)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address")
 	flag.Parse()
 
 	cfgSrc := datagen.MuseumSrc
@@ -64,13 +71,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xmlwais-wrapper: %v\n", err)
 		os.Exit(1)
 	}
-	srv := wire.Serve(ln, wire.Exported{
+	exp := wire.Exported{
 		Source:    w,
 		Interface: w.ExportInterface(),
 		Structures: map[string]wire.StructureRef{
 			"works": {Model: w.ExportStructure(), Pattern: "Works"},
 		},
-	})
+	}
+	if *metricsAddr != "" {
+		exp.Obs = obs.NewObserver(nil)
+		plane, err := obs.Serve(*metricsAddr, exp.Obs.Reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlwais-wrapper: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer plane.Close()
+		fmt.Printf(" metrics and pprof at http://%s/\n", plane.Addr)
+	}
+	srv := wire.Serve(ln, exp)
 	host, _ := os.Hostname()
 	fmt.Printf(" xmlwais-wrapper is running at %s:%d (source %s: %d documents, %d terms)\n",
 		host, *port, cfg.Name, e.Size(), e.Terms())

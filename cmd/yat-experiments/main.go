@@ -2,16 +2,17 @@
 // per-figure experiments (F7, F8, F9), the transfer sweep (E10), the
 // information-passing crossover (E11), the source-index ablation (E12),
 // the optimizer-round ablation (E13), the parallel-engine worker sweep
-// (E15, over live TCP wrappers), the batched-pushdown/cache sweep (E16)
-// and the fault-tolerance experiment (E17, Q2 under injected transport
-// faults). Each table reports measured wall time, shipped bytes/tuples and
-// source calls; correctness is asserted against the generator's ground
-// truth on every run.
+// (E15, over live TCP wrappers), the batched-pushdown/cache sweep (E16),
+// the fault-tolerance experiment (E17, Q2 under injected transport
+// faults) and the profiling experiment (E18, Q2's per-operator span tree
+// and the cost of tracing itself). Each table reports measured wall time,
+// shipped bytes/tuples and source calls; correctness is asserted against
+// the generator's ground truth on every run.
 //
 // Usage:
 //
 //	yat-experiments [-quick]
-//	yat-experiments -bench-json BENCH_PR4.json
+//	yat-experiments -bench-json BENCH_PR5.json
 //
 // With -bench-json, only the Fig. 9 Q2 measurements run (per-row, batched,
 // parallel, warm cache, plus a 1%-fault-rate recovery variant) and the
@@ -35,6 +36,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/mediator"
 	"repro/internal/o2wrap"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/tab"
 	"repro/internal/waiswrap"
@@ -101,6 +103,56 @@ func run(sizes, sweep []int) error {
 	if err := e17(sizes[len(sizes)-2]); err != nil {
 		return err
 	}
+	if err := e18(sizes[len(sizes)-2]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// e18 profiles Fig. 9's Q2 over the wire deployment: where the time goes
+// (the rendered per-operator span tree) and what tracing itself costs
+// (batched Q2 timed with tracing off vs. on, plus the accounting invariant
+// that span counts sum to global Stats).
+func e18(n int) error {
+	const latency = 2 * time.Millisecond
+	fmt.Printf("\n== E18: profiled Q2 over wire (artifacts=%d, per-call latency %s) ==\n", n, latency)
+	m, _, teardown, err := wireDeploy(n, latency)
+	if err != nil {
+		return err
+	}
+	defer teardown()
+	ctx := context.Background()
+
+	off := mediator.ExecOptions{Parallelism: 1}
+	on := mediator.ExecOptions{Parallelism: 1, Trace: true}
+	plain, dOff, err := med(func() (*mediator.Result, error) {
+		return m.ExecuteContext(ctx, datagen.Q2Src, off)
+	})
+	if err != nil {
+		return fmt.Errorf("E18 untraced: %w", err)
+	}
+	traced, dOn, err := med(func() (*mediator.Result, error) {
+		return m.ExecuteContext(ctx, datagen.Q2Src, on)
+	})
+	if err != nil {
+		return fmt.Errorf("E18 traced: %w", err)
+	}
+	if !plain.Tab.Equal(traced.Tab) {
+		return fmt.Errorf("E18: tracing changed the result rows")
+	}
+	if traced.Trace == nil {
+		return fmt.Errorf("E18: no trace collected")
+	}
+	tc := traced.Trace.TreeCounts()
+	if tc.Pushes != traced.Stats.SourcePushes || tc.Tuples != traced.Stats.TuplesShipped ||
+		tc.Fetches != traced.Stats.SourceFetches {
+		return fmt.Errorf("E18: span counts %+v do not sum to Stats %+v", tc, traced.Stats)
+	}
+	fmt.Printf("%-22s %12s %8s %8s\n", "variant", "time", "rows", "spans")
+	fmt.Printf("%-22s %12s %8d %8s\n", "trace off", dOff.Round(10*time.Microsecond), plain.Tab.Len(), "-")
+	fmt.Printf("%-22s %12s %8d %8d\n", "trace on", dOn.Round(10*time.Microsecond), traced.Tab.Len(), traced.Trace.SpanCount())
+	fmt.Println("\nprofile (trace", traced.Trace.ID+"):")
+	fmt.Print(obs.Render(traced.Trace))
 	return nil
 }
 
@@ -741,8 +793,8 @@ type benchRecord struct {
 
 // benchJSON runs the Fig. 9 Q2 variants (per-row serial and parallel,
 // batched serial and parallel, warm cache, and per-row under a 1% injected
-// fault rate) over the wire deployment and writes machine-readable results —
-// the CI artifact BENCH_PR4.json.
+// fault rate, and batched with tracing on) over the wire deployment and
+// writes machine-readable results — the CI artifact BENCH_PR5.json.
 func benchJSON(path string, n int) error {
 	const latency = 2 * time.Millisecond
 	m, _, teardown, err := wireDeploy(n, latency)
@@ -758,6 +810,7 @@ func benchJSON(path string, n int) error {
 		{"q2_per_row_serial", mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}},
 		{"q2_per_row_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute, PerRowDJoin: true}},
 		{"q2_batched_serial", mediator.ExecOptions{Parallelism: 1}},
+		{"q2_batched_traced", mediator.ExecOptions{Parallelism: 1, Trace: true}},
 		{"q2_batched_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
 		{"q2_warm_cache", mediator.ExecOptions{Parallelism: 1, CacheSize: 4096}},
 	}

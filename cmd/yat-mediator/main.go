@@ -6,6 +6,7 @@
 //
 //	yat-mediator [-script session.txt] [-lint] [-parallel N] [-timeout D] [-cache N]
 //	             [-partial] [-retries N] [-connect-timeout D] [-inject SPEC]
+//	             [-trace-out FILE] [-metrics-addr HOST:PORT]
 //
 // With -lint, every plan is verified by the planlint static checker after
 // each optimizer rewriting step and before execution; a broken invariant
@@ -37,6 +38,17 @@
 //     is comma-separated: rate=0.05,seed=1,kinds=drop+truncate+garble,
 //     delay=50ms,killnth=3 (kinds defaults to drop+delay+truncate+garble).
 //
+// Observability controls:
+//
+//   - `profile <query> ;` runs the query with per-operator tracing on and
+//     renders the annotated plan tree (EXPLAIN ANALYZE): wall time, rows,
+//     fetches/pushes/tuples, cache hits, retry recovery and breaker state
+//     per operator. -trace-out FILE additionally exports each profiled
+//     query as Chrome trace-event JSON (open in chrome://tracing or
+//     Perfetto; repeated profiles overwrite the file).
+//   - -metrics-addr HOST:PORT serves cumulative mediator metrics as JSON
+//     on /metrics and the standard pprof handlers under /debug/pprof/.
+//
 // The console reads commands from stdin:
 //
 //	connect <name> <host:port>     connect and import a wrapper
@@ -48,6 +60,7 @@
 //	query  <YAT_L query> ;         optimize and evaluate
 //	naive  <YAT_L query> ;         evaluate without optimization
 //	explain <YAT_L query> ;        show naive and optimized plans
+//	profile <YAT_L query> ;        evaluate with tracing, render the span tree
 //	quit
 package main
 
@@ -67,6 +80,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/faults"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
 )
@@ -78,6 +92,8 @@ type dialConfig struct {
 	connectTimeout time.Duration
 	retry          *wire.RetryPolicy
 	inject         *faults.Injector
+	traceOut       string        // -trace-out: Chrome trace JSON destination for `profile`
+	metrics        *obs.Registry // -metrics-addr registry, fed by every query
 }
 
 func main() {
@@ -90,6 +106,8 @@ func main() {
 	retries := flag.Int("retries", 0, "transport attempts per wrapper request (0 = default 3, 1 = no retries)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "deadline for connect (dial + hello)")
 	inject := flag.String("inject", "", "inject transport faults, e.g. rate=0.05,seed=1,kinds=drop+garble")
+	traceOut := flag.String("trace-out", "", "write each profiled query as Chrome trace-event JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -115,6 +133,17 @@ func main() {
 			os.Exit(1)
 		}
 		sess.inject = faults.New(cfg)
+	}
+	sess.traceOut = *traceOut
+	if *metricsAddr != "" {
+		sess.metrics = obs.NewRegistry()
+		plane, err := obs.Serve(*metricsAddr, sess.metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yat-mediator: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer plane.Close()
+		fmt.Printf(" metrics and pprof at http://%s/\n", plane.Addr)
 	}
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
@@ -173,6 +202,9 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 	m := mediator.New()
 	m.CheckInvariants = lint
 	m.RegisterFunc("contains", waiswrap.Contains)
+	if sess.metrics != nil {
+		m.SetMetrics(sess.metrics)
+	}
 	clients := map[string]*wire.Client{}
 	defer func() {
 		for _, c := range clients {
@@ -183,14 +215,14 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "yat> ")
 	var queryBuf strings.Builder
-	mode := "" // "", "query", "naive", "explain"
+	mode := "" // "", "query", "naive", "explain", "profile"
 	for sc.Scan() {
 		line := sc.Text()
 		if mode != "" {
 			queryBuf.WriteString(line)
 			queryBuf.WriteByte('\n')
 			if strings.Contains(line, ";") {
-				runQuery(out, m, mode, queryBuf.String(), opts)
+				runQuery(out, m, mode, queryBuf.String(), opts, sess)
 				queryBuf.Reset()
 				mode = ""
 			}
@@ -258,18 +290,18 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 			fmt.Fprint(out, m.Describe())
 		case "health":
 			printHealth(out, m)
-		case "query", "naive", "explain":
+		case "query", "naive", "explain", "profile":
 			mode = fields[0]
 			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 			queryBuf.WriteString(rest)
 			queryBuf.WriteByte('\n')
 			if strings.Contains(rest, ";") {
-				runQuery(out, m, mode, queryBuf.String(), opts)
+				runQuery(out, m, mode, queryBuf.String(), opts, sess)
 				queryBuf.Reset()
 				mode = ""
 			}
 		default:
-			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, health, query, naive, explain, quit)\n", fields[0])
+			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, health, query, naive, explain, profile, quit)\n", fields[0])
 		}
 		fmt.Fprint(out, "yat> ")
 	}
@@ -321,7 +353,7 @@ func importStructures(m *mediator.Mediator, c *wire.Client) error {
 	return nil
 }
 
-func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediator.ExecOptions) {
+func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediator.ExecOptions, sess *dialConfig) {
 	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
 	switch mode {
 	case "explain":
@@ -340,6 +372,15 @@ func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediat
 			return
 		}
 		printResult(out, res)
+	case "profile":
+		popts := opts
+		popts.Trace = true
+		res, err := m.ExecuteContext(context.Background(), src, popts)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		printProfile(out, res, sess.traceOut)
 	default:
 		res, err := m.ExecuteContext(context.Background(), src, opts)
 		if err != nil {
@@ -348,6 +389,31 @@ func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediat
 		}
 		printResult(out, res)
 	}
+}
+
+// printProfile renders the EXPLAIN ANALYZE view of a traced query: the
+// result summary followed by the annotated span tree, plus the optional
+// Chrome trace export.
+func printProfile(out io.Writer, res *mediator.Result, traceOut string) {
+	printResult(out, res)
+	if res.Trace == nil {
+		fmt.Fprintln(out, " no trace collected")
+		return
+	}
+	fmt.Fprintf(out, "profile (%d spans, trace %s):\n", res.Trace.SpanCount(), res.Trace.ID)
+	fmt.Fprint(out, indent(obs.Render(res.Trace)))
+	if traceOut == "" {
+		return
+	}
+	b, err := obs.ChromeTrace(res.Trace)
+	if err == nil {
+		err = os.WriteFile(traceOut, b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(out, "error: trace-out: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, " chrome trace written to %s\n", traceOut)
 }
 
 func printResult(out io.Writer, res *mediator.Result) {

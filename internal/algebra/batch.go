@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/tab"
 )
 
@@ -280,8 +281,31 @@ func (s *DJoinSet) PendingChunks(ctx *Context) [][]int {
 
 // EvalChunk ships one batched push (a single round trip) for the given set
 // indexes, stores the per-set results and populates the cache. On error no
-// result of the failed push is stored or cached.
+// result of the failed push is stored or cached. Under tracing, each chunk
+// gets its own span (child of the ambient DJoin or worker span) so a
+// profile shows every batched round trip individually.
 func (s *DJoinSet) EvalChunk(ctx *Context, idxs []int) error {
+	if ctx.Trace != nil {
+		sp := ctx.Trace.NewChild("chunk", fmt.Sprintf("PushBatch(%s) [%d bindings]", s.source, len(idxs)))
+		cc := *ctx
+		cc.Trace = sp
+		if cc.Ctx != nil {
+			cc.Ctx = obs.WithSpan(cc.Ctx, sp)
+		}
+		err := s.evalChunk(&cc, idxs)
+		rows := 0
+		for _, bi := range idxs {
+			if s.Results[bi] != nil {
+				rows += s.Results[bi].Len()
+			}
+		}
+		sp.Finish(rows, err)
+		return err
+	}
+	return s.evalChunk(ctx, idxs)
+}
+
+func (s *DJoinSet) evalChunk(ctx *Context, idxs []int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -304,6 +328,7 @@ func (s *DJoinSet) EvalChunk(ctx *Context, idxs []int) error {
 		return fmt.Errorf("source %s: batch returned %d results for %d bindings", s.source, len(res), len(sets))
 	}
 	ctx.Stats.SourcePushes++
+	traceCounts(ctx, obs.Counts{Pushes: 1})
 	for i, bi := range idxs {
 		countShipped(ctx, res[i])
 		s.Results[bi] = res[i]
@@ -347,8 +372,10 @@ func (s *DJoinSet) cacheGet(ctx *Context, i int) (*tab.Tab, bool) {
 	t, ok := ctx.Cache.Get(CacheKey(s.source, s.pushed.Enc, s.Bindings.Keys[i]))
 	if ok {
 		ctx.Stats.CacheHits++
+		traceCounts(ctx, obs.Counts{CacheHits: 1})
 	} else {
 		ctx.Stats.CacheMisses++
+		traceCounts(ctx, obs.Counts{CacheMisses: 1})
 	}
 	return t, ok
 }
@@ -366,6 +393,7 @@ func (s *DJoinSet) cachePut(ctx *Context, i int, t *tab.Tab) {
 // and batched paths).
 func countShipped(ctx *Context, t *tab.Tab) {
 	ctx.Stats.TuplesShipped += t.Len()
+	traceCounts(ctx, obs.Counts{Tuples: t.Len()})
 	for _, r := range t.Rows {
 		for _, c := range r {
 			ctx.Stats.BytesShipped += int64(len(c.Key()))

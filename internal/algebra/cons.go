@@ -381,7 +381,7 @@ func (t *TreeOp) Detail() string { return fmt.Sprintf("Tree(%s)", t.C) }
 
 // Eval implements Op.
 func (t *TreeOp) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := t.From.Eval(ctx)
+	in, err := EvalOp(t.From, ctx)
 	if err != nil {
 		return nil, err
 	}

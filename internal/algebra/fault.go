@@ -3,6 +3,8 @@ package algebra
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // UnavailableError marks a source call that failed because the source is
@@ -87,11 +89,17 @@ type RetryReporter interface {
 
 // drainRetryStats folds a source's pending retry counters into the
 // context's Stats; called after every fetch/push/pushbatch, on success and
-// failure alike (the retries preceding a final failure count too).
+// failure alike (the retries preceding a final failure count too). Under
+// tracing, the ambient span records the same counts — so a profile shows
+// which operator's source calls needed recovery.
 func drainRetryStats(ctx *Context, src Source) {
 	if rr, ok := src.(RetryReporter); ok {
 		r, d := rr.TakeRetryStats()
 		ctx.Stats.Retries += r
 		ctx.Stats.Redials += d
+		if (r > 0 || d > 0) && ctx.Trace != nil {
+			ctx.Trace.AddCounts(obs.Counts{Retries: r, Redials: d})
+			ctx.Trace.Annotate("recovered", fmt.Sprintf("%d retries, %d redials", r, d))
+		}
 	}
 }

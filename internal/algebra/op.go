@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/filter"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/tab"
 )
@@ -156,6 +157,12 @@ type Context struct {
 	// exec.Options.AllowPartial). Shared, not forked: every worker
 	// records into the same report.
 	Partial *PartialReport
+	// Trace, when non-nil, is the span the current work belongs to:
+	// EvalOp opens a child span per operator evaluation under it, and the
+	// counter-mutation sites mirror their Stats increments into it (see
+	// internal/obs). Nil means tracing is off — the only cost is a nil
+	// check per operator.
+	Trace *obs.Span
 }
 
 // NewContext returns an empty evaluation context. The builtin function
@@ -251,6 +258,7 @@ func (c *Context) Input(name string) (data.Forest, error) {
 					return nil, err
 				}
 				c.Stats.SourceFetches++
+				traceCounts(c, obs.Counts{Fetches: 1})
 				for _, n := range f {
 					c.Stats.BytesShipped += int64(n.Size()) * 16
 					c.Store.Register(n)
@@ -276,8 +284,8 @@ type Op interface {
 	Detail() string
 }
 
-// Run evaluates a plan against a context.
-func Run(op Op, ctx *Context) (*tab.Tab, error) { return op.Eval(ctx) }
+// Run evaluates a plan against a context (traced when ctx.Trace is set).
+func Run(op Op, ctx *Context) (*tab.Tab, error) { return EvalOp(op, ctx) }
 
 // ---------------------------------------------------------------------------
 // Doc: named-document input
@@ -388,7 +396,7 @@ func (b *Bind) Eval(ctx *Context) (*tab.Tab, error) {
 		ctx.Stats.BindRows += t.Len()
 		return t, nil
 	default:
-		in, err := b.From.Eval(ctx)
+		in, err := EvalOp(b.From, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -429,7 +437,7 @@ func (s *Select) Detail() string { return fmt.Sprintf("Select(%s)", s.Pred) }
 
 // Eval implements Op.
 func (s *Select) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := s.From.Eval(ctx)
+	in, err := EvalOp(s.From, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -474,7 +482,7 @@ func (p *Project) Detail() string { return fmt.Sprintf("Project(%s)", strings.Jo
 
 // Eval implements Op.
 func (p *Project) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := p.From.Eval(ctx)
+	in, err := EvalOp(p.From, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -499,7 +507,7 @@ func (m *MapExpr) Detail() string { return fmt.Sprintf("Map(%s := %s)", m.Col, m
 
 // Eval implements Op.
 func (m *MapExpr) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := m.From.Eval(ctx)
+	in, err := EvalOp(m.From, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -538,11 +546,11 @@ func (j *Join) Detail() string { return fmt.Sprintf("Join(%s)", j.Pred) }
 
 // Eval implements Op.
 func (j *Join) Eval(ctx *Context) (*tab.Tab, error) {
-	l, err := j.L.Eval(ctx)
+	l, err := EvalOp(j.L, ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := j.R.Eval(ctx)
+	r, err := EvalOp(j.R, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -651,7 +659,7 @@ func (j *DJoin) Detail() string { return "DJoin" }
 
 // Eval implements Op.
 func (j *DJoin) Eval(ctx *Context) (*tab.Tab, error) {
-	l, err := j.L.Eval(ctx)
+	l, err := EvalOp(j.L, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -668,7 +676,7 @@ func (j *DJoin) Eval(ctx *Context) (*tab.Tab, error) {
 	} else {
 		for i := range set.Bindings.Sets {
 			err := set.EvalSet(ctx, i, j.R, func(c *Context, op Op) (*tab.Tab, error) {
-				return op.Eval(c)
+				return EvalOp(op, c)
 			})
 			if err != nil {
 				return nil, err
@@ -694,7 +702,7 @@ func (j *DJoin) evalPerRow(ctx *Context, l *tab.Tab) (*tab.Tab, error) {
 		for i, c := range l.Cols {
 			params[c] = lr[i]
 		}
-		sub, err := j.R.Eval(ctx.WithParams(params))
+		sub, err := EvalOp(j.R, ctx.WithParams(params))
 		if err != nil {
 			return nil, err
 		}
@@ -723,11 +731,11 @@ func (u *Union) Detail() string { return "Union" }
 
 // Eval implements Op.
 func (u *Union) Eval(ctx *Context) (*tab.Tab, error) {
-	l, err := u.L.Eval(ctx)
+	l, err := EvalOp(u.L, ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := u.R.Eval(ctx)
+	r, err := EvalOp(u.R, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -753,11 +761,11 @@ func (i *Intersect) Detail() string { return "Intersect" }
 
 // Eval implements Op.
 func (i *Intersect) Eval(ctx *Context) (*tab.Tab, error) {
-	l, err := i.L.Eval(ctx)
+	l, err := EvalOp(i.L, ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := i.R.Eval(ctx)
+	r, err := EvalOp(i.R, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -794,7 +802,7 @@ func (d *Distinct) Detail() string { return "Distinct" }
 
 // Eval implements Op.
 func (d *Distinct) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := d.From.Eval(ctx)
+	in, err := EvalOp(d.From, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -825,7 +833,7 @@ func (g *Group) Detail() string {
 
 // Eval implements Op.
 func (g *Group) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := g.From.Eval(ctx)
+	in, err := EvalOp(g.From, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -849,7 +857,7 @@ func (s *Sort) Detail() string { return fmt.Sprintf("Sort(%s)", strings.Join(s.C
 
 // Eval implements Op.
 func (s *Sort) Eval(ctx *Context) (*tab.Tab, error) {
-	in, err := s.From.Eval(ctx)
+	in, err := EvalOp(s.From, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -910,10 +918,16 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 			key = CacheKey(q.Source, p.Enc, ParamsKey(p.Vars, ctx.Params))
 			if t, ok := ctx.Cache.Get(key); ok {
 				ctx.Stats.CacheHits++
+				traceCounts(ctx, obs.Counts{CacheHits: 1})
+				traceAnnotate(ctx, "cache", "hit")
 				return t, nil
 			}
 			ctx.Stats.CacheMisses++
+			traceCounts(ctx, obs.Counts{CacheMisses: 1})
 		}
+	}
+	if sr, ok := src.(StateReporter); ok {
+		traceAnnotate(ctx, "breaker", sr.SourceState())
 	}
 	var t *tab.Tab
 	var err error
@@ -927,6 +941,7 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 		return nil, fmt.Errorf("source %s: %w", q.Source, err)
 	}
 	ctx.Stats.SourcePushes++
+	traceCounts(ctx, obs.Counts{Pushes: 1})
 	countShipped(ctx, t)
 	if key != "" {
 		if ctx.Cache.Put(key, t) {

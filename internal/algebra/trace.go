@@ -1,0 +1,104 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/tab"
+)
+
+// StateReporter is implemented by sources that can report an availability
+// state ("closed", "open", "half-open" for the mediator's circuit-breaker
+// guards). Traced evaluation annotates source spans with it so a profile
+// shows which pushes ran against a degraded source.
+type StateReporter interface {
+	SourceState() string
+}
+
+// OpKind names an operator for tracing and profiling. The type switch is
+// exhaustive over the algebra (yat-lint enforces that), so a new operator
+// cannot silently profile as "unknown".
+func OpKind(op Op) string {
+	switch op.(type) {
+	case *Doc:
+		return "Doc"
+	case *Bind:
+		return "Bind"
+	case *Select:
+		return "Select"
+	case *Project:
+		return "Project"
+	case *MapExpr:
+		return "MapExpr"
+	case *Join:
+		return "Join"
+	case *DJoin:
+		return "DJoin"
+	case *Union:
+		return "Union"
+	case *Intersect:
+		return "Intersect"
+	case *Distinct:
+		return "Distinct"
+	case *Group:
+		return "Group"
+	case *Sort:
+		return "Sort"
+	case *SourceQuery:
+		return "SourceQuery"
+	case *Literal:
+		return "Literal"
+	case *TreeOp:
+		return "Tree"
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+// EvalOp is the traced evaluation entry point: every recursive evaluation in
+// this package goes through it. With tracing off (Context.Trace == nil) it
+// is a nil check and a direct Eval — the near-zero overhead pinned by
+// BenchmarkTraceOverhead. With tracing on it opens a child span per operator
+// (Literals excepted: they are materialized constants, and the parallel
+// engine re-wraps evaluated inputs in them), threads the span through the
+// context — and through Context.Ctx, so the wire client can tag outgoing
+// frames with the trace id — and records wall time, output rows and failure.
+func EvalOp(op Op, ctx *Context) (*tab.Tab, error) {
+	if ctx.Trace == nil {
+		return op.Eval(ctx)
+	}
+	if _, ok := op.(*Literal); ok {
+		return op.Eval(ctx)
+	}
+	sp := ctx.Trace.NewChild(OpKind(op), op.Detail())
+	cc := *ctx
+	cc.Trace = sp
+	if cc.Ctx != nil {
+		cc.Ctx = obs.WithSpan(cc.Ctx, sp)
+	}
+	t, err := op.Eval(&cc)
+	rows := -1
+	if t != nil {
+		rows = t.Len()
+	}
+	sp.Finish(rows, err)
+	return t, err
+}
+
+// traceCounts folds source-work counts into the ambient span, if tracing.
+// Every Stats counter mutation in this package pairs with a traceCounts call
+// on the span the work happened under — that is what makes a trace's
+// TreeCounts sum to the global Stats exactly (TestProfileSumsMatchStats).
+func traceCounts(ctx *Context, c obs.Counts) {
+	if ctx.Trace != nil {
+		ctx.Trace.AddCounts(c)
+	}
+}
+
+// traceAnnotate attaches a key/value annotation to the ambient span, if
+// tracing.
+func traceAnnotate(ctx *Context, key, value string) {
+	if ctx.Trace != nil {
+		ctx.Trace.Annotate(key, value)
+	}
+}

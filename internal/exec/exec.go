@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/obs"
 	"repro/internal/tab"
 )
 
@@ -73,6 +74,14 @@ type Options struct {
 	// rows; a plan rooted entirely in a dead source returns zero rows.
 	// Every returned row is still correct — the result is a lower bound.
 	AllowPartial bool
+	// Trace enables per-operator span collection (see internal/obs): every
+	// evaluated operator gets a span under the root the caller attaches to
+	// algebra.Context.Trace (the mediator mints one and returns it in
+	// Result.Trace), fan-out workers get spans parented to the operator
+	// that forked them, and the trace id rides the wire frames so
+	// wrapper-side work is attributed to its cause. Off by default;
+	// when off the engine's only extra work is a nil check per node.
+	Trace bool
 }
 
 // Engine evaluates algebra plans with a bounded worker pool. It is safe for
@@ -147,13 +156,39 @@ func (e *Engine) degrade(actx *algebra.Context, err error) bool {
 // lit wraps an evaluated input so an operator's own Eval can combine it.
 func lit(t *tab.Tab) algebra.Op { return &algebra.Literal{T: t} }
 
-// eval evaluates one plan node. Operators with several independent inputs
-// (Join, DJoin, Union, Intersect) are scheduled here; everything else
+// eval evaluates one plan node, opening a span for it when tracing. The
+// span wrapper lives here — not in the operators' Eval — because the engine
+// owns the recursion: operators re-dispatched over materialized inputs see
+// only Literal children, which are never spanned, so each plan node gets
+// exactly one span regardless of which layer evaluates it.
+func (e *Engine) eval(ctx context.Context, op algebra.Op, actx *algebra.Context) (*tab.Tab, error) {
+	if actx.Trace == nil {
+		return e.evalNode(ctx, op, actx)
+	}
+	if _, ok := op.(*algebra.Literal); ok {
+		return e.evalNode(ctx, op, actx)
+	}
+	sp := actx.Trace.NewChild(algebra.OpKind(op), op.Detail())
+	cc := *actx
+	cc.Trace = sp
+	tctx := obs.WithSpan(ctx, sp)
+	cc.Ctx = tctx
+	t, err := e.evalNode(tctx, op, &cc)
+	rows := -1
+	if t != nil {
+		rows = t.Len()
+	}
+	sp.Finish(rows, err)
+	return t, err
+}
+
+// evalNode evaluates one plan node. Operators with several independent
+// inputs (Join, DJoin, Union, Intersect) are scheduled here; everything else
 // evaluates its input through the engine and then delegates to the
 // operator's own Eval over the materialized input, so combine semantics
 // (hash joins, residual predicates, grouping, construction) stay in exactly
 // one place: internal/algebra.
-func (e *Engine) eval(ctx context.Context, op algebra.Op, actx *algebra.Context) (*tab.Tab, error) {
+func (e *Engine) evalNode(ctx context.Context, op algebra.Op, actx *algebra.Context) (*tab.Tab, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -440,6 +475,17 @@ func (e *Engine) fanOut(ctx context.Context, actx *algebra.Context, n int, seria
 					defer wg.Done()
 					defer func() { <-e.tokens; <-local }()
 					rctx := actx.Fork()
+					if actx.Trace != nil {
+						// Parent the forked unit's work to a worker span
+						// under the fanned-out operator, so a profile shows
+						// which units actually ran concurrently.
+						ws := actx.Trace.NewChild("worker", fmt.Sprintf("unit %d", i))
+						rctx.Trace = ws
+						if rctx.Ctx != nil {
+							rctx.Ctx = obs.WithSpan(rctx.Ctx, ws)
+						}
+						defer func() { ws.Finish(-1, errs[i]) }()
+					}
 					errs[i] = run(rctx, i)
 					mu.Lock()
 					forked.Add(*rctx.Stats)

@@ -217,6 +217,11 @@ func (g *guard) PushContext(ctx context.Context, plan algebra.Op, params map[str
 	return t, err
 }
 
+// SourceState implements algebra.StateReporter: traced evaluation
+// annotates each push with the breaker state it ran under, so a profile
+// shows which calls went through a recovering source.
+func (g *guard) SourceState() string { return g.br.snapshot().State }
+
 // TakeRetryStats implements algebra.RetryReporter by forwarding to the
 // underlying source's transport layer.
 func (g *guard) TakeRetryStats() (retries, redials int) {

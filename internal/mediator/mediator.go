@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/capability"
 	"repro/internal/data"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
 	"repro/internal/planlint"
@@ -54,6 +56,13 @@ type Mediator struct {
 	// breaker protects every caller.
 	healthMu sync.Mutex
 	health   map[string]*breaker
+
+	// metrics, when installed (SetMetrics), receives per-query counters
+	// and latency observations, per-Stats counter totals, and breaker
+	// state gauges/transition counts — the data the -metrics-addr HTTP
+	// plane serves.
+	metricsMu sync.Mutex
+	metrics   *obs.Registry
 }
 
 // View is a registered YAT_L rule with its algebraic translation.
@@ -381,13 +390,66 @@ func (m *Mediator) Optimize(plan algebra.Op) algebra.Op {
 // Result bundles a query outcome with its plans and execution counters.
 // SourceErrors is non-empty only for AllowPartial executions that degraded:
 // it lists the sources the query could not reach, and marks the rows as a
-// lower bound of the complete answer.
+// lower bound of the complete answer. Trace is non-nil only for executions
+// with ExecOptions.Trace set: the root of the plan-shaped span tree
+// (render with obs.Render, export with obs.ChromeTrace).
 type Result struct {
 	Tab          *tab.Tab
 	NaivePlan    string
 	Plan         string
 	Stats        algebra.Stats
 	SourceErrors []algebra.SourceFailure
+	Trace        *obs.Span
+}
+
+// SetMetrics installs a metrics registry: every subsequent query folds its
+// duration, outcome and Stats counters into it, and breaker transitions
+// are counted as they happen. Pass nil to detach.
+func (m *Mediator) SetMetrics(reg *obs.Registry) {
+	m.metricsMu.Lock()
+	m.metrics = reg
+	m.metricsMu.Unlock()
+}
+
+// Metrics returns the installed registry (nil when none).
+func (m *Mediator) Metrics() *obs.Registry {
+	m.metricsMu.Lock()
+	defer m.metricsMu.Unlock()
+	return m.metrics
+}
+
+// recordQuery folds one query execution into the installed registry:
+// outcome counters, a latency observation, the run's Stats (recorded on
+// failure too — the work done before a failure is still work done), and a
+// state gauge per source breaker (0 closed, 1 half-open, 2 open).
+func (m *Mediator) recordQuery(d time.Duration, stats algebra.Stats, err error) {
+	reg := m.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.Counter("queries_total").Add(1)
+	if err != nil {
+		reg.Counter("query_errors_total").Add(1)
+	}
+	reg.Histogram("query_ms").Observe(float64(d) / float64(time.Millisecond))
+	reg.Counter("source_fetches_total").Add(int64(stats.SourceFetches))
+	reg.Counter("source_pushes_total").Add(int64(stats.SourcePushes))
+	reg.Counter("tuples_shipped_total").Add(int64(stats.TuplesShipped))
+	reg.Counter("bytes_shipped_total").Add(stats.BytesShipped)
+	reg.Counter("cache_hits_total").Add(int64(stats.CacheHits))
+	reg.Counter("cache_misses_total").Add(int64(stats.CacheMisses))
+	reg.Counter("retries_total").Add(int64(stats.Retries))
+	reg.Counter("redials_total").Add(int64(stats.Redials))
+	for name, h := range m.Health() {
+		var v int64
+		switch h.State {
+		case "half-open":
+			v = 1
+		case "open":
+			v = 2
+		}
+		reg.Gauge("breaker_state_" + name).Set(v)
+	}
 }
 
 // Query composes, optimizes and executes a YAT_L query.
@@ -404,7 +466,9 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 		return nil, err
 	}
 	ctx := m.newContext()
+	start := time.Now()
 	t, err := opt.Eval(ctx)
+	m.recordQuery(time.Since(start), *ctx.Stats, err)
 	if err != nil {
 		return nil, err
 	}
@@ -420,8 +484,9 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 // bounds the worker pool (1 = serial, the exact behaviour of Query), FanOut
 // bounds one DJoin's in-flight sub-queries, Timeout is the per-query
 // deadline, BatchChunk sizes batched DJoin pushes, PerRowDJoin restores the
-// one-push-per-row baseline, and CacheSize installs a shared wrapper-result
-// cache (kept warm across queries).
+// one-push-per-row baseline, CacheSize installs a shared wrapper-result
+// cache (kept warm across queries), and Trace collects a per-operator span
+// tree returned in Result.Trace.
 type ExecOptions = exec.Options
 
 // ExecuteContext composes, optimizes and executes a YAT_L query on the
@@ -452,7 +517,11 @@ func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts Exe
 		// context, so a report it creates itself would be unreadable here.
 		actx.Partial = algebra.NewPartialReport()
 	}
+	root := m.attachTrace(actx, opts)
+	start := time.Now()
 	t, err := exec.New(opts).Run(ctx, opt, actx)
+	finishTrace(root, t, err)
+	m.recordQuery(time.Since(start), *actx.Stats, err)
 	if err != nil {
 		return nil, err
 	}
@@ -461,11 +530,35 @@ func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts Exe
 		NaivePlan: algebra.Describe(naive),
 		Plan:      algebra.Describe(opt),
 		Stats:     *actx.Stats,
+		Trace:     root,
 	}
 	if actx.Partial != nil {
 		res.SourceErrors = actx.Partial.Failures()
 	}
 	return res, nil
+}
+
+// attachTrace mints a root span on the evaluation context when the options
+// ask for tracing, returning it (nil otherwise).
+func (m *Mediator) attachTrace(actx *algebra.Context, opts ExecOptions) *obs.Span {
+	if !opts.Trace {
+		return nil
+	}
+	root := obs.NewTrace("query")
+	actx.Trace = root
+	return root
+}
+
+// finishTrace closes a query's root span (no-op for untraced runs).
+func finishTrace(root *obs.Span, t *tab.Tab, err error) {
+	if root == nil {
+		return
+	}
+	rows := -1
+	if t != nil {
+		rows = t.Len()
+	}
+	root.Finish(rows, err)
 }
 
 // ExecutePlan executes an already-built algebra plan on the execution
@@ -485,7 +578,11 @@ func (m *Mediator) ExecutePlan(ctx context.Context, plan algebra.Op, opts ExecOp
 	if opts.AllowPartial {
 		actx.Partial = algebra.NewPartialReport()
 	}
+	root := m.attachTrace(actx, opts)
+	start := time.Now()
 	t, err := exec.New(opts).Run(ctx, plan, actx)
+	finishTrace(root, t, err)
+	m.recordQuery(time.Since(start), *actx.Stats, err)
 	if err != nil {
 		return nil, err
 	}
@@ -493,6 +590,7 @@ func (m *Mediator) ExecutePlan(ctx context.Context, plan algebra.Op, opts ExecOp
 		Tab:   t,
 		Plan:  algebra.Describe(plan),
 		Stats: *actx.Stats,
+		Trace: root,
 	}
 	if actx.Partial != nil {
 		res.SourceErrors = actx.Partial.Failures()

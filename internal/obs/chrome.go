@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). The format
+// is understood by chrome://tracing and Perfetto: timestamps and durations
+// in microseconds, pid/tid pick the lane a slice renders in.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace serializes the span tree as Chrome trace-event JSON
+// (the `-trace-out` export of the profile command).
+//
+// Lane assignment: a child whose interval does not overlap an earlier
+// sibling inherits its parent's lane, so a serial pipeline renders as one
+// stacked row; overlapping siblings (parallel workers, concurrent DJoin
+// chunks) get fresh lanes of their own, which makes fan-out visually
+// obvious.
+func ChromeTrace(root *Span) ([]byte, error) {
+	var events []chromeEvent
+	nextTID := 1
+	epoch := root.Start
+
+	var emit func(s *Span, tid int)
+	emit = func(s *Span, tid int) {
+		end := s.End
+		if end.IsZero() {
+			end = s.Start
+		}
+		args := map[string]any{"trace_id": s.ID}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if s.Rows >= 0 {
+			args["rows"] = s.Rows
+		}
+		if s.Err != "" {
+			args["error"] = s.Err
+		}
+		c := s.Counts()
+		if c != (Counts{}) {
+			args["counts"] = c
+		}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "yat",
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(end.Sub(s.Start)) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		})
+		kids := s.Children()
+		var lastEnd time.Time
+		for i, k := range kids {
+			lane := tid
+			if i > 0 && k.Start.Before(lastEnd) {
+				lane = nextTID
+				nextTID++
+			}
+			kEnd := k.End
+			if kEnd.IsZero() {
+				kEnd = k.Start
+			}
+			if kEnd.After(lastEnd) {
+				lastEnd = kEnd
+			}
+			emit(k, lane)
+		}
+	}
+	emit(root, 0)
+	return json.MarshalIndent(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lightweight, stdlib-only metrics registry: named counters,
+// gauges and fixed-bucket histograms. It is fed by the mediator (per-query
+// Stats, breaker transitions) and the wrapper servers (per-request timings)
+// and served as a JSON snapshot on the /metrics endpoint of the HTTP plane.
+//
+// Get-or-create is lock-guarded; the hot path (Add/Set/Observe on an
+// already-created instrument) is a single atomic op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 (breaker state, pool size, ...).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultBuckets are histogram upper bounds in milliseconds, spanning
+// sub-millisecond local evaluation up to multi-second wire round trips.
+var DefaultBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram is a fixed-bucket histogram with cumulative-style bucket counts
+// computed at snapshot time. Observations are atomic per bucket.
+type Histogram struct {
+	bounds []float64 // upper bounds; implicit +Inf overflow bucket at the end
+	counts []atomic.Int64
+	sum    atomic.Int64 // sum of observations in micro-units (value * 1000)
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one observation (same unit as the bucket bounds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(math.Round(v * 1000)))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram (DefaultBuckets), creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(DefaultBuckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// histSnapshot is the JSON shape of one histogram in a snapshot.
+type histSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // "le" bound → cumulative count
+}
+
+// Snapshot returns a point-in-time copy of every instrument, suitable for
+// JSON encoding. Zero-count histogram buckets are elided.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := map[string]int64{}
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := map[string]int64{}
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := map[string]histSnapshot{}
+	for name, h := range r.hists {
+		hs := histSnapshot{Count: h.n.Load(), Sum: float64(h.sum.Load()) / 1000, Buckets: map[string]int64{}}
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			if h.counts[i].Load() == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatBound(h.bounds[i])
+			}
+			hs.Buckets[le] = cum
+		}
+		if len(hs.Buckets) == 0 {
+			hs.Buckets = nil
+		}
+		hists[name] = hs
+	}
+	return map[string]any{"counters": counters, "gauges": gauges, "histograms": hists}
+}
+
+func formatBound(b float64) string {
+	bs, _ := json.Marshal(b)
+	return string(bs)
+}
+
+// ServeHTTP serves the registry snapshot as JSON (the /metrics endpoint).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(r.Snapshot())
+}

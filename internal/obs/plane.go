@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the HTTP plane: the registry's JSON snapshot on /metrics
+// and the stdlib pprof handlers on /debug/pprof/ (mounted explicitly — the
+// plane uses its own mux, not http.DefaultServeMux, so importing this
+// package never pollutes the default mux of an embedding program).
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Plane is a running metrics/pprof HTTP server.
+type Plane struct {
+	Addr string // actual listen address (resolves ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve starts the HTTP plane on addr (e.g. "127.0.0.1:0") serving reg.
+// It returns once the listener is bound; requests are handled in the
+// background until Close.
+func Serve(addr string, reg *Registry) (*Plane, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	p := &Plane{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return p, nil
+}
+
+// Close shuts the plane down.
+func (p *Plane) Close() error {
+	return p.srv.Close()
+}

@@ -37,6 +37,11 @@ const (
 	CodeUnknownDoc    = "unknown-doc"    // named document no source or catalog exports
 	CodeMalformed     = "malformed"      // an operator form Eval and Columns disagree on
 	CodeBatchShape    = "batch-shape"    // DJoin inner plan reads parameters nothing provides
+
+	// Warning codes: emitted only with Config.Warnings, so callers that
+	// abort on any diagnostic (the optimizer's CheckInvariants gate) never
+	// see them.
+	CodeDJoinDegenerate = "djoin-degenerate" // DJoin inner plan has no free variables
 )
 
 // Diagnostic is one invariant violation, located by a plan path: operator
@@ -80,6 +85,10 @@ type Config struct {
 	// Params lists variables the environment provides (e.g. when checking a
 	// subplan that runs under a DJoin).
 	Params map[string]bool
+	// Warnings enables advisory diagnostics (the CodeDJoinDegenerate class):
+	// plans that will run correctly but suggest a missed rewrite. Off by
+	// default so invariant gates that abort on any diagnostic stay strict.
+	Warnings bool
 }
 
 // Check verifies a plan and returns its violations (nil when clean).
@@ -334,6 +343,16 @@ func (c *checker) checkBatchShape(x *algebra.DJoin, renv map[string]bool, path s
 			c.report(CodeBatchShape, path, x,
 				"DJoin inner plan reads parameter %s which neither the outer columns nor the environment provide; its binding sets are under-determined", v)
 		}
+	}
+	// Advisory: a DJoin whose inner plan reads nothing from the outer row is
+	// a plain Join (or cross product) in disguise. It still evaluates
+	// correctly — per-row evaluation repeats the identical inner query once
+	// per outer row, and batching collapses the bindings to one — but a Join
+	// evaluates the inner side exactly once with no information passing
+	// machinery at all.
+	if c.cfg.Warnings && len(free) == 0 {
+		c.report(CodeDJoinDegenerate, path, x,
+			"DJoin inner plan has no free variables; it does not depend on the outer row — a plain Join evaluates it once instead")
 	}
 }
 

@@ -273,3 +273,38 @@ func TestErrorFolding(t *testing.T) {
 		t.Fatalf("folded error should carry the code: %v", err)
 	}
 }
+
+func TestDJoinDegenerateWarning(t *testing.T) {
+	// The inner plan never reads an outer column: the DJoin is a plain Join
+	// in disguise. The advisory fires only with Warnings enabled, so strict
+	// invariant gates (abort on any diagnostic) never see it.
+	plan := &algebra.DJoin{
+		L: docBind(`doc[ *item[ name: $n ] ]`),
+		R: &algebra.Select{
+			From: docBind(`doc[ *item[ num: $v ] ]`),
+			Pred: algebra.MustParseExpr(`$v > 1`),
+		},
+	}
+	if ds := Check(plan, testConfig()); len(ds) != 0 {
+		t.Fatalf("degenerate DJoin must stay clean without Warnings: %v", ds)
+	}
+	cfg := testConfig()
+	cfg.Warnings = true
+	d := one(t, Check(plan, cfg), CodeDJoinDegenerate, "DJoin")
+	if !strings.Contains(d.Msg, "no free variables") {
+		t.Errorf("diagnostic should explain the degeneracy: %s", d)
+	}
+
+	// A DJoin whose inner plan does read an outer column is genuine
+	// information passing: no warning even with Warnings on.
+	genuine := &algebra.DJoin{
+		L: docBind(`doc[ *item[ name: $n ] ]`),
+		R: &algebra.Select{
+			From: docBind(`doc[ *item[ num: $v ] ]`),
+			Pred: algebra.MustParseExpr(`$v > 1 AND $n = "a"`),
+		},
+	}
+	if ds := Check(genuine, cfg); len(ds) != 0 {
+		t.Fatalf("genuine DJoin flagged under Warnings: %v", ds)
+	}
+}

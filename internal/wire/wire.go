@@ -41,6 +41,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/capability"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/tab"
 	"repro/internal/xmlenc"
@@ -223,6 +224,13 @@ type Exported struct {
 	Source     algebra.Source
 	Interface  *capability.Interface
 	Structures map[string]StructureRef
+	// Obs, when non-nil, records a span per handled request — carrying the
+	// caller's trace id when the frame was tagged — and feeds per-request
+	// counters and latency histograms into its registry (the wrapper's
+	// -metrics-addr plane). Traced fetch/push/pushbatch responses are
+	// additionally stamped with an obs-ns attribute, the wrapper-side
+	// evaluation time, which the client folds back into the caller's span.
+	Obs *obs.Observer
 }
 
 // StructureRef names a document's structural pattern within a model.
@@ -312,6 +320,30 @@ func (s *Server) respond(req string) string {
 	if err != nil {
 		return errorXML("bad request: %v", err)
 	}
+	if s.Exp.Obs == nil {
+		resp, _, _ := s.answer(n, false)
+		return resp
+	}
+	// One span per handled request, carrying the caller's trace id when the
+	// frame was tagged — the wrapper-side half of a distributed trace.
+	traceID := attr(n, "trace")
+	sp := s.Exp.Obs.StartRequest(n.Label, traceID)
+	resp, rows, aerr := s.answer(n, traceID != "")
+	s.Exp.Obs.EndRequest(sp, rows, aerr)
+	return resp
+}
+
+// obsStamp attaches the wrapper-side evaluation time to a traced response
+// root; the client folds it back into the calling operator's span.
+func obsStamp(n *data.Node, elapsed time.Duration) {
+	n.Add(data.Text("@obs-ns", fmt.Sprint(elapsed.Nanoseconds())))
+}
+
+// answer serves one parsed request. traced asks fetch/push/pushbatch
+// responses to carry the obs-ns evaluation-time stamp. rows is the number
+// of result rows shipped (-1 when the request has no tabular result) and
+// err the failure reported to the client, both for the observer.
+func (s *Server) answer(n *data.Node, traced bool) (resp string, rows int, err error) {
 	switch n.Label {
 	case "hello":
 		resp := data.Elem("wrapper")
@@ -324,12 +356,12 @@ func (s *Server) respond(req string) string {
 			docs += d
 		}
 		resp.Add(data.Text("@docs", docs))
-		return xmlenc.Serialize(resp)
+		return xmlenc.Serialize(resp), -1, nil
 	case "interface-request":
 		if s.Exp.Interface == nil {
-			return errorXML("no interface exported")
+			return errorXML("no interface exported"), -1, errors.New("no interface exported")
 		}
-		return xmlenc.Serialize(capability.ToXML(s.Exp.Interface))
+		return xmlenc.Serialize(capability.ToXML(s.Exp.Interface)), -1, nil
 	case "structures-request":
 		resp := data.Elem("structures")
 		for doc, ref := range s.Exp.Structures {
@@ -339,31 +371,35 @@ func (s *Server) respond(req string) string {
 			entry.Add(pattern.ModelToXML(ref.Model))
 			resp.Add(entry)
 		}
-		return xmlenc.Serialize(resp)
+		return xmlenc.Serialize(resp), -1, nil
 	case "fetch":
 		doc := attr(n, "doc")
+		start := time.Now()
 		forest, err := s.Exp.Source.Fetch(doc)
 		if err != nil {
-			return errorXML("fetch %s: %v", doc, err)
+			return errorXML("fetch %s: %v", doc, err), -1, err
 		}
 		resp := data.Elem("forest")
 		resp.Kids = append(resp.Kids, forest...)
-		return xmlenc.Serialize(resp)
+		if traced {
+			obsStamp(resp, time.Since(start))
+		}
+		return xmlenc.Serialize(resp), len(forest), nil
 	case "push":
 		planNode := n.Child("plan")
 		if planNode == nil {
-			return errorXML("push without plan")
+			return errorXML("push without plan"), -1, errors.New("push without plan")
 		}
 		plan, err := algebra.PlanFromXML(firstElem(planNode))
 		if err != nil {
-			return errorXML("push plan: %v", err)
+			return errorXML("push plan: %v", err), -1, err
 		}
 		params := map[string]tab.Cell{}
 		if pn := n.Child("params"); pn != nil {
 			if tn := firstElem(pn); tn != nil {
 				pt, err := tab.FromXML(tn)
 				if err != nil {
-					return errorXML("push params: %v", err)
+					return errorXML("push params: %v", err), -1, err
 				}
 				if pt.Len() > 0 {
 					for i, c := range pt.Cols {
@@ -372,27 +408,33 @@ func (s *Server) respond(req string) string {
 				}
 			}
 		}
+		start := time.Now()
 		res, err := s.Exp.Source.Push(plan, params)
 		if err != nil {
-			return errorXML("push: %v", err)
+			return errorXML("push: %v", err), -1, err
 		}
-		return tab.Marshal(res)
+		if traced {
+			tn := tab.ToXML(res)
+			obsStamp(tn, time.Since(start))
+			return xmlenc.Serialize(tn), res.Len(), nil
+		}
+		return tab.Marshal(res), res.Len(), nil
 	case "pushbatch":
 		planNode := n.Child("plan")
 		if planNode == nil {
-			return errorXML("pushbatch without plan")
+			return errorXML("pushbatch without plan"), -1, errors.New("pushbatch without plan")
 		}
 		plan, err := algebra.PlanFromXML(firstElem(planNode))
 		if err != nil {
-			return errorXML("pushbatch plan: %v", err)
+			return errorXML("pushbatch plan: %v", err), -1, err
 		}
 		bn := n.Child("bindings")
 		if bn == nil {
-			return errorXML("pushbatch without bindings")
+			return errorXML("pushbatch without bindings"), -1, errors.New("pushbatch without bindings")
 		}
 		bt, err := tab.FromXML(firstElem(bn))
 		if err != nil {
-			return errorXML("pushbatch bindings: %v", err)
+			return errorXML("pushbatch bindings: %v", err), -1, err
 		}
 		bindings := make([]map[string]tab.Cell, bt.Len())
 		for i, r := range bt.Rows {
@@ -402,6 +444,7 @@ func (s *Server) respond(req string) string {
 			}
 			bindings[i] = m
 		}
+		start := time.Now()
 		var res []*tab.Tab
 		if bs, ok := s.Exp.Source.(algebra.BatchSource); ok {
 			res, err = bs.PushBatch(plan, bindings)
@@ -420,15 +463,20 @@ func (s *Server) respond(req string) string {
 			}
 		}
 		if err != nil {
-			return errorXML("pushbatch: %v", err)
+			return errorXML("pushbatch: %v", err), -1, err
 		}
 		resp := data.Elem("batch")
+		rows = 0
 		for _, t := range res {
+			rows += t.Len()
 			resp.Add(tab.ToXML(t))
 		}
-		return xmlenc.Serialize(resp)
+		if traced {
+			obsStamp(resp, time.Since(start))
+		}
+		return xmlenc.Serialize(resp), rows, nil
 	default:
-		return errorXML("unknown request <%s>", n.Label)
+		return errorXML("unknown request <%s>", n.Label), -1, fmt.Errorf("unknown request <%s>", n.Label)
 	}
 }
 
@@ -905,10 +953,16 @@ func (c *Client) Fetch(doc string) (data.Forest, error) {
 }
 
 // FetchContext implements algebra.ContextSource: Fetch under a cancellation
-// context.
+// context. When the context carries a trace span (obs.WithSpan), the frame
+// is tagged with the trace id so the wrapper's request span joins the
+// caller's trace, and the wrapper-side evaluation time comes back as an
+// annotation.
 func (c *Client) FetchContext(ctx context.Context, doc string) (data.Forest, error) {
 	req := data.Elem("fetch")
 	req.Add(data.Text("@doc", doc))
+	if id := obs.TraceID(ctx); id != "" {
+		req.Add(data.Text("@trace", id))
+	}
 	resp, err := c.roundTripCtx(ctx, xmlenc.Serialize(req))
 	if err != nil {
 		return nil, err
@@ -916,14 +970,31 @@ func (c *Client) FetchContext(ctx context.Context, doc string) (data.Forest, err
 	if resp.Label != "forest" {
 		return nil, fmt.Errorf("wire: unexpected response <%s>", resp.Label)
 	}
+	c.annotateWrapperTime(ctx, resp)
 	// XML carries atoms as text; restore numeric/boolean typing so that
 	// mediator-side predicates (e.g. $y > 1800) behave as they do against
-	// an in-process wrapper.
-	out := make(data.Forest, len(resp.Kids))
-	for i, n := range resp.Kids {
-		out[i] = xmlenc.InferAtoms(n)
+	// an in-process wrapper. Attribute children of the response root (the
+	// obs-ns stamp) are frame metadata, not trees of the forest.
+	out := make(data.Forest, 0, len(resp.Kids))
+	for _, n := range resp.Kids {
+		if strings.HasPrefix(n.Label, "@") {
+			continue
+		}
+		out = append(out, xmlenc.InferAtoms(n))
 	}
 	return out, nil
+}
+
+// annotateWrapperTime folds a traced response's wrapper-side evaluation
+// time (the obs-ns stamp) into the calling operator's span.
+func (c *Client) annotateWrapperTime(ctx context.Context, resp *data.Node) {
+	sp := obs.SpanFrom(ctx)
+	if sp == nil {
+		return
+	}
+	if v := attr(resp, "obs-ns"); v != "" {
+		sp.Annotate("wrapper_ns", v)
+	}
 }
 
 // Push implements algebra.Source.
@@ -940,7 +1011,11 @@ func (c *Client) PushContext(ctx context.Context, plan algebra.Op, params map[st
 		return nil, err
 	}
 	var req strings.Builder
-	req.WriteString("<push><plan>")
+	if id := obs.TraceID(ctx); id != "" {
+		fmt.Fprintf(&req, `<push trace="%s"><plan>`, xmlenc.Escape(id))
+	} else {
+		req.WriteString("<push><plan>")
+	}
 	req.WriteString(enc)
 	req.WriteString("</plan>")
 	if len(params) > 0 {
@@ -964,6 +1039,7 @@ func (c *Client) PushContext(ctx context.Context, plan algebra.Op, params map[st
 	if err != nil {
 		return nil, err
 	}
+	c.annotateWrapperTime(ctx, resp)
 	return tab.FromXML(resp)
 }
 
@@ -1009,7 +1085,11 @@ func (c *Client) PushBatchContext(ctx context.Context, plan algebra.Op, bindings
 		bt.AddRow(row)
 	}
 	var req strings.Builder
-	req.WriteString("<pushbatch><plan>")
+	if id := obs.TraceID(ctx); id != "" {
+		fmt.Fprintf(&req, `<pushbatch trace="%s"><plan>`, xmlenc.Escape(id))
+	} else {
+		req.WriteString("<pushbatch><plan>")
+	}
 	req.WriteString(enc)
 	req.WriteString("</plan><bindings>")
 	req.WriteString(tab.Marshal(bt))
@@ -1021,6 +1101,7 @@ func (c *Client) PushBatchContext(ctx context.Context, plan algebra.Op, bindings
 	if resp.Label != "batch" {
 		return nil, fmt.Errorf("wire: unexpected response <%s>", resp.Label)
 	}
+	c.annotateWrapperTime(ctx, resp)
 	out := make([]*tab.Tab, 0, len(bindings))
 	for _, k := range resp.Kids {
 		if k.Label != "tab" {

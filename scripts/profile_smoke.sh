@@ -1,0 +1,80 @@
+#!/bin/sh
+# profile_smoke.sh — end-to-end observability smoke test.
+#
+# Starts both wrapper servers and the mediator console as separate
+# processes (the real Figure 2 deployment), runs `profile` on the paper's
+# Q2, and checks that
+#   - the rendered span tree contains the expected operator lines,
+#   - the exported Chrome trace (TRACE_Q2.json) is valid trace-event JSON,
+#   - the mediator's and wrappers' /metrics endpoints serve valid JSON.
+#
+# Requires only the go toolchain (JSON validation is a small Go helper).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+O2_PORT=17066
+WAIS_PORT=17060
+O2_METRICS=127.0.0.1:17166
+WAIS_METRICS=127.0.0.1:17161
+MED_METRICS=127.0.0.1:17167
+PIDS=""
+
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "profile-smoke: building binaries"
+go build -o "$WORK/o2-wrapper" ./cmd/o2-wrapper
+go build -o "$WORK/xmlwais-wrapper" ./cmd/xmlwais-wrapper
+go build -o "$WORK/yat-mediator" ./cmd/yat-mediator
+go build -o "$WORK/validate-trace" ./scripts/validate-trace
+
+"$WORK/o2-wrapper" -port $O2_PORT -metrics-addr $O2_METRICS >"$WORK/o2.log" 2>&1 &
+PIDS="$PIDS $!"
+"$WORK/xmlwais-wrapper" -port $WAIS_PORT -metrics-addr $WAIS_METRICS >"$WORK/wais.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# Both wrappers print an "is running at" line once their listener is up.
+i=0
+until grep -q "is running at" "$WORK/o2.log" 2>/dev/null &&
+      grep -q "is running at" "$WORK/wais.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "profile-smoke: FAIL — wrappers did not come up" >&2
+        cat "$WORK/o2.log" "$WORK/wais.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+cat >"$WORK/session.txt" <<EOF
+connect o2artifact 127.0.0.1:$O2_PORT
+connect xmlartwork 127.0.0.1:$WAIS_PORT
+load view1.yat
+profile MAKE result[ title: \$t, price: \$p ]
+MATCH artworks WITH doc[ *work[ title: \$t, style: \$s, price: \$p ] ]
+WHERE \$s = "Impressionist" AND \$p < 200000 ;
+quit
+EOF
+
+echo "profile-smoke: running profile on Q2"
+"$WORK/yat-mediator" -script "$WORK/session.txt" \
+    -trace-out TRACE_Q2.json -metrics-addr $MED_METRICS >"$WORK/profile.out" 2>&1
+
+for want in "profile (" "DJoin" "SourceQuery(xmlartwork)" "chrome trace written"; do
+    if ! grep -q "$want" "$WORK/profile.out"; then
+        echo "profile-smoke: FAIL — output lacks \"$want\"" >&2
+        cat "$WORK/profile.out" >&2
+        exit 1
+    fi
+done
+
+echo "profile-smoke: validating TRACE_Q2.json and /metrics endpoints"
+"$WORK/validate-trace" TRACE_Q2.json \
+    "http://$O2_METRICS/metrics" "http://$WAIS_METRICS/metrics"
+
+echo "profile-smoke: OK (see TRACE_Q2.json)"
