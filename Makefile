@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke bench-trace
+.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke bench-trace
 
-check: build vet test lint fault-matrix bench-smoke profile-smoke
+check: build vet test lint fault-matrix bench-smoke profile-smoke typecheck-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ bench-json:
 # /metrics endpoints probed. See scripts/profile_smoke.sh.
 profile-smoke:
 	./scripts/profile_smoke.sh
+
+# End-to-end plan-typing smoke: `typecheck` on Q2 renders the inferred
+# pattern types from the wrappers' exported structures, and a query under
+# -check-types (wire conformance mode) still returns rows. See
+# scripts/typecheck_smoke.sh.
+typecheck-smoke:
+	./scripts/typecheck_smoke.sh
 
 # Tracing-overhead benchmark: Fig. 9 Q2 batched with ExecOptions.Trace off
 # vs. on (one iteration in CI; run without -benchtime for real numbers).

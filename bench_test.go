@@ -700,3 +700,47 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		b.ReportMetric(float64(spans), "spans")
 	})
 }
+
+// BenchmarkTypeCheckOverhead measures what wire conformance checking costs on
+// Fig. 9's Q2 over live wire wrappers: with ExecOptions.CheckTypes every row a
+// wrapper ships is validated cell-by-cell against the operator's inferred
+// pattern type (typecheck.CellConforms), so the On case prices one conformance
+// walk per shipped cell plus the one-time plan inference. Off must stay within
+// noise of the plain baseline — the only addition to the hot path is a nil
+// check on Context.CheckWire per source result.
+func BenchmarkTypeCheckOverhead(b *testing.B) {
+	w := datagen.Generate(datagen.DefaultParams(1000))
+	m := wireMediator(b, w, 0)
+	ctx := context.Background()
+
+	off := mediator.ExecOptions{Parallelism: 1}
+	on := mediator.ExecOptions{Parallelism: 1, CheckTypes: true}
+	plain, err := m.ExecuteContext(ctx, Q2, off)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checked, err := m.ExecuteContext(ctx, Q2, on)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !plain.Tab.Equal(checked.Tab) {
+		b.Fatal("conformance checking changed the result rows")
+	}
+
+	b.Run("Off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteContext(ctx, Q2, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("On", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ExecuteContext(ctx, Q2, on); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

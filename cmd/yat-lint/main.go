@@ -1,6 +1,6 @@
 // Command yat-lint is a repository-specific static analyzer for the YAT
 // mediator, built only on the standard library (go/ast, go/parser,
-// go/types). It enforces two invariants the general Go toolchain cannot:
+// go/types). It enforces three invariants the general Go toolchain cannot:
 //
 //  1. Exhaustive algebra.Op type switches: any type switch whose tag is an
 //     algebra.Op must handle every Op implementation declared in
@@ -12,6 +12,11 @@
 //     across plan branches) and must not call its mutating methods
 //     (Add, AddRow, SortBy, Concat) or write its fields; it must clone
 //     first.
+//  3. Inference-rule test coverage: the tests of internal/typecheck must
+//     construct every algebra.Op implementation, so a new operator cannot
+//     land without a test pinning its type inference rule (the inference
+//     switch itself degrades unknown operators to Any by design, which is
+//     exactly why the toolchain would never notice the gap).
 //
 // A finding is suppressed by a `// yat-lint:ignore <reason>` comment on the
 // offending line or the line directly above it. A `default:` clause does
@@ -23,7 +28,9 @@
 //	yat-lint [packages...]   (defaults to ./...)
 //
 // Exits 0 when clean, 1 with findings, 2 on loader errors. Test files are
-// not analyzed.
+// not analyzed by checks 1 and 2; check 3 reads the typecheck package's
+// test files (syntactically) and runs whenever that package is in the
+// analyzed set.
 package main
 
 import (
@@ -42,9 +49,10 @@ import (
 )
 
 const (
-	algebraPath = "repro/internal/algebra"
-	tabPath     = "repro/internal/tab"
-	ignoreTag   = "yat-lint:ignore"
+	algebraPath   = "repro/internal/algebra"
+	tabPath       = "repro/internal/tab"
+	typecheckPath = "repro/internal/typecheck"
+	ignoreTag     = "yat-lint:ignore"
 )
 
 // tabMutators are the *tab.Tab methods that modify the receiver in place.
@@ -110,8 +118,61 @@ func run(pats []string) ([]string, error) {
 			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
 		}
 		findings = append(findings, fs...)
+		if pkg.ImportPath == typecheckPath {
+			fs, err := checkTypecheckCoverage(ops)
+			if err != nil {
+				return nil, err
+			}
+			findings = append(findings, fs...)
+		}
 	}
 	sort.Strings(findings)
+	return findings, nil
+}
+
+// checkTypecheckCoverage (check 3) verifies that the typecheck package's
+// tests construct every algebra.Op implementation. GoFiles excludes tests,
+// so the test files are listed separately and inspected syntactically: a
+// composite literal algebra.X{...} (or &algebra.X{...}) counts as coverage
+// for operator X.
+func checkTypecheckCoverage(ops map[string]bool) ([]string, error) {
+	out, err := goTool([]string{"list", "-f", "{{.Dir}}\t{{range .TestGoFiles}}{{.}} {{end}}", typecheckPath})
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(strings.TrimSpace(out), "\t", 2)
+	dir := parts[0]
+	var names []string
+	if len(parts) == 2 {
+		names = strings.Fields(parts[1])
+	}
+	constructed := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if sel, ok := cl.Type.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "algebra" {
+					constructed[sel.Sel.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	var findings []string
+	for op := range ops {
+		if !constructed[op] {
+			findings = append(findings, fmt.Sprintf(
+				"%s: tests never construct algebra.%s — its type inference rule is untested", typecheckPath, op))
+		}
+	}
 	return findings, nil
 }
 

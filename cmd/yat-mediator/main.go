@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	yat-mediator [-script session.txt] [-lint] [-parallel N] [-timeout D] [-cache N]
-//	             [-partial] [-retries N] [-connect-timeout D] [-inject SPEC]
+//	yat-mediator [-script session.txt] [-lint] [-check-types] [-parallel N] [-timeout D]
+//	             [-cache N] [-partial] [-retries N] [-connect-timeout D] [-inject SPEC]
 //	             [-trace-out FILE] [-metrics-addr HOST:PORT]
 //
 // With -lint, every plan is verified by the planlint static checker after
 // each optimizer rewriting step and before execution; a broken invariant
 // aborts the query with a diagnostic instead of a wrong answer.
+//
+// With -check-types, queries run in wire conformance mode: every wrapper
+// response row is validated against the pushed plan's inferred pattern type
+// (derived from the structures the sources exported), and a source shipping
+// data that violates its own declared schema aborts the query with a
+// structured violation instead of a silently wrong answer. The `typecheck`
+// command renders the inferred types without executing anything.
 //
 // With -parallel N > 1, `query` evaluates plans on the parallel execution
 // engine with N workers: independent subplans and DJoin sub-queries run
@@ -61,6 +68,7 @@
 //	naive  <YAT_L query> ;         evaluate without optimization
 //	explain <YAT_L query> ;        show naive and optimized plans
 //	profile <YAT_L query> ;        evaluate with tracing, render the span tree
+//	typecheck <YAT_L query> ;      show the optimized plan with inferred types
 //	quit
 package main
 
@@ -81,6 +89,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mediator"
 	"repro/internal/obs"
+	"repro/internal/typecheck"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
 )
@@ -99,6 +108,7 @@ type dialConfig struct {
 func main() {
 	script := flag.String("script", "", "read commands from a file instead of stdin")
 	lint := flag.Bool("lint", false, "verify plan invariants after every rewrite and before execution")
+	checkTypes := flag.Bool("check-types", false, "validate wrapper responses against their declared structural types")
 	parallel := flag.Int("parallel", 1, "execution workers per query (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
 	cache := flag.Int("cache", 0, "wrapper-result cache entries (0 = no caching)")
@@ -147,7 +157,8 @@ func main() {
 	}
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
-	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout, CacheSize: *cache, AllowPartial: *partial}
+	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout, CacheSize: *cache,
+		AllowPartial: *partial, CheckTypes: *checkTypes}
 	if err := repl(in, os.Stdout, *lint, opts, sess); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
@@ -215,7 +226,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "yat> ")
 	var queryBuf strings.Builder
-	mode := "" // "", "query", "naive", "explain", "profile"
+	mode := "" // "", "query", "naive", "explain", "profile", "typecheck"
 	for sc.Scan() {
 		line := sc.Text()
 		if mode != "" {
@@ -290,7 +301,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 			fmt.Fprint(out, m.Describe())
 		case "health":
 			printHealth(out, m)
-		case "query", "naive", "explain", "profile":
+		case "query", "naive", "explain", "profile", "typecheck":
 			mode = fields[0]
 			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 			queryBuf.WriteString(rest)
@@ -301,7 +312,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 				mode = ""
 			}
 		default:
-			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, health, query, naive, explain, profile, quit)\n", fields[0])
+			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, health, query, naive, explain, profile, typecheck, quit)\n", fields[0])
 		}
 		fmt.Fprint(out, "yat> ")
 	}
@@ -381,6 +392,20 @@ func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediat
 			return
 		}
 		printProfile(out, res, sess.traceOut)
+	case "typecheck":
+		plan, err := m.Compose(src)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		opt := m.Optimize(plan)
+		ann, err := m.TypecheckPlan(opt)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "typed plan (root %s):\n", ann.Root)
+		fmt.Fprint(out, indent(typecheck.Render(opt, ann)))
 	default:
 		res, err := m.ExecuteContext(context.Background(), src, opts)
 		if err != nil {

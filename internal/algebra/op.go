@@ -163,6 +163,12 @@ type Context struct {
 	// internal/obs). Nil means tracing is off — the only cost is a nil
 	// check per operator.
 	Trace *obs.Span
+	// CheckWire, when non-nil, validates every wrapper response the
+	// moment it arrives: SourceQuery.Eval calls it with the shipped table
+	// before caching or returning it, and a non-nil error aborts the
+	// query. The mediator installs a checker comparing rows against the
+	// plan's inferred types when ExecOptions.CheckTypes is set.
+	CheckWire func(q *SourceQuery, t *tab.Tab) error
 }
 
 // NewContext returns an empty evaluation context. The builtin function
@@ -943,6 +949,13 @@ func (q *SourceQuery) Eval(ctx *Context) (*tab.Tab, error) {
 	ctx.Stats.SourcePushes++
 	traceCounts(ctx, obs.Counts{Pushes: 1})
 	countShipped(ctx, t)
+	if ctx.CheckWire != nil {
+		// Validate before caching: a non-conforming response must not be
+		// served from the cache on a later probe.
+		if err := ctx.CheckWire(q, t); err != nil {
+			return nil, err
+		}
+	}
 	if key != "" {
 		if ctx.Cache.Put(key, t) {
 			ctx.Stats.CacheEvictions++

@@ -179,6 +179,18 @@ type Interface struct {
 	// Binds lists, per exported document, the Fpattern governing binds on
 	// it: docname -> (fmodel, fpattern).
 	Binds map[string]BindCap
+	// Structures optionally carries, per exported document, the source's
+	// structural schema (Figure 3's export): the pattern every instance of
+	// the document's members instantiates. The mediator seeds plan typing
+	// from these on connect; ImportStructure can still override them.
+	Structures map[string]StructureRef
+}
+
+// StructureRef names a pattern inside a structural model: the declared
+// type of one document's members.
+type StructureRef struct {
+	Model   *pattern.Model
+	Pattern string
 }
 
 // BindCap names the Fpattern that governs Bind operations over a document.
@@ -189,7 +201,11 @@ type BindCap struct {
 
 // NewInterface returns an empty interface description.
 func NewInterface(name string) *Interface {
-	return &Interface{Name: name, Binds: make(map[string]BindCap)}
+	return &Interface{
+		Name:       name,
+		Binds:      make(map[string]BindCap),
+		Structures: make(map[string]StructureRef),
+	}
 }
 
 // FModel resolves an Fmodel by name.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/filter"
+	"repro/internal/pattern"
 	"repro/internal/xmlenc"
 )
 
@@ -290,3 +291,62 @@ func TestFlagParsing(t *testing.T) {
 }
 
 func parseXMLFixture(src string) (*data.Node, error) { return xmlenc.Parse(src) }
+
+// TestStructureXMLRoundTrip covers the piece TestInterfaceXMLRoundTrip's
+// fixtures predate: structural schemas (Interface.Structures) must survive
+// the wire — the mediator's plan typing is seeded entirely from what
+// arrives here, so a schema lost or corrupted in transit silently turns
+// every type check into a no-op.
+func TestStructureXMLRoundTrip(t *testing.T) {
+	works, err := pattern.ParseModel(
+		`model wrapworks
+		Works := works[ *work[ artist[String], title[String], style[String] ] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := pattern.ParseModel(
+		`model wrapdocs
+		Doc := doc[ *item[ name[String], num[Int] ] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := NewInterface("structured")
+	i.Structures["works"] = StructureRef{Model: works, Pattern: "Works"}
+	i.Structures["docs"] = StructureRef{Model: docs, Pattern: "Doc"}
+	// A nil-model ref must be skipped, not serialized as an empty element.
+	i.Structures["untyped"] = StructureRef{Pattern: "Nope"}
+
+	s := Marshal(i)
+	back, err := Unmarshal(s)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	if Marshal(back) != s {
+		t.Error("round trip unstable")
+	}
+	if len(back.Structures) != 2 {
+		t.Fatalf("structures after round trip: %d, want 2 (nil-model ref dropped)", len(back.Structures))
+	}
+	for doc, want := range map[string]string{"works": "Works", "docs": "Doc"} {
+		ref, ok := back.Structures[doc]
+		if !ok {
+			t.Fatalf("structure %s lost in round trip", doc)
+		}
+		if ref.Pattern != want {
+			t.Errorf("%s pattern = %q, want %q", doc, ref.Pattern, want)
+		}
+		if ref.Model == nil || ref.Model.String() != i.Structures[doc].Model.String() {
+			t.Errorf("%s model changed in round trip:\n got %v\nwant %v",
+				doc, ref.Model, i.Structures[doc].Model)
+		}
+	}
+	// The reparsed model is semantically usable, not just textually equal:
+	// the declared pattern resolves and subsumes itself.
+	wp := back.Structures["works"].Model.Lookup("Works")
+	if wp == nil {
+		t.Fatal("Works pattern unresolvable after round trip")
+	}
+	if !pattern.Subsumes(back.Structures["works"].Model, wp, back.Structures["works"].Model, wp) {
+		t.Error("reparsed pattern does not subsume itself")
+	}
+}

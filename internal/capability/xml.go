@@ -202,6 +202,23 @@ func ToXML(i *Interface) *data.Node {
 		be.Add(data.Text("@fpattern", bc.FPattern))
 		root.Add(be)
 	}
+	// Structural schemas ride along as their textual model form.
+	var sdocs []string
+	for d := range i.Structures {
+		sdocs = append(sdocs, d)
+	}
+	sortStrings(sdocs)
+	for _, d := range sdocs {
+		ref := i.Structures[d]
+		if ref.Model == nil {
+			continue
+		}
+		se := data.Elem("structure")
+		se.Add(data.Text("@doc", d))
+		se.Add(data.Text("@pattern", ref.Pattern))
+		se.Add(data.Text("model", ref.Model.String()))
+		root.Add(se)
+	}
 	for _, op := range i.Operations {
 		oe := data.Elem("operation")
 		oe.Add(data.Text("@name", op.Name))
@@ -274,6 +291,16 @@ func FromXML(n *data.Node) (*Interface, error) {
 			i.FModels = append(i.FModels, m)
 		case "bindcap":
 			i.Binds[attr(k, "doc")] = BindCap{FModel: attr(k, "fmodel"), FPattern: attr(k, "fpattern")}
+		case "structure":
+			me := k.Child("model")
+			if me == nil || me.Atom == nil {
+				return nil, fmt.Errorf("capability: <structure> without model text")
+			}
+			m, err := pattern.ParseModel(me.Atom.S)
+			if err != nil {
+				return nil, fmt.Errorf("structure %s: %w", attr(k, "doc"), err)
+			}
+			i.Structures[attr(k, "doc")] = StructureRef{Model: m, Pattern: attr(k, "pattern")}
 		case "operation":
 			op := Operation{Name: attr(k, "name"), Kind: attr(k, "kind")}
 			if in := k.Child("input"); in != nil {

@@ -82,6 +82,14 @@ type Options struct {
 	// wrapper-side work is attributed to its cause. Off by default;
 	// when off the engine's only extra work is a nil check per node.
 	Trace bool
+	// CheckTypes enables wire conformance checking: the mediator infers a
+	// pattern type for every operator (internal/typecheck) and installs a
+	// validator on the evaluation context that checks each shipped
+	// wrapper row against the SourceQuery's inferred type, turning a
+	// schema-violating response into a structured error (and a
+	// type_violations_total metric) instead of a silently wrong answer.
+	// Off by default; the engine itself does not consume it.
+	CheckTypes bool
 }
 
 // Engine evaluates algebra plans with a bounded worker pool. It is safe for

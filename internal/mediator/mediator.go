@@ -21,6 +21,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/planlint"
 	"repro/internal/tab"
+	"repro/internal/typecheck"
 	"repro/internal/yatl"
 )
 
@@ -101,6 +102,15 @@ func (m *Mediator) Connect(src algebra.Source, iface *capability.Interface) erro
 			return fmt.Errorf("mediator: document %q exported by both %s and %s", d, owner, name)
 		}
 		m.sourceDocs[d] = name
+	}
+	// Seed plan typing from the schemas the capability description
+	// carries; an explicit ImportStructure can still override them.
+	if iface != nil {
+		for doc, ref := range iface.Structures {
+			if _, have := m.structures[doc]; !have && ref.Model != nil {
+				m.structures[doc] = optimizer.Structure{Model: ref.Model, Pattern: ref.Pattern}
+			}
+		}
 	}
 	return nil
 }
@@ -489,6 +499,74 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 // tree returned in Result.Trace.
 type ExecOptions = exec.Options
 
+// typecheckConfig builds the inference configuration from the imported
+// structures (capability exports and ImportStructure calls).
+func (m *Mediator) typecheckConfig() *typecheck.Config {
+	st := make(map[string]typecheck.Structure, len(m.structures))
+	for doc, s := range m.structures {
+		st[doc] = typecheck.Structure{Model: s.Model, Pattern: s.Pattern}
+	}
+	return &typecheck.Config{Structures: st}
+}
+
+// TypecheckPlan runs pattern-type inference over a plan under the
+// mediator's imported structures (the console's `typecheck` command and
+// the wire conformance mode both build on it).
+func (m *Mediator) TypecheckPlan(plan algebra.Op) (*typecheck.Annotation, error) {
+	return typecheck.Infer(plan, m.typecheckConfig())
+}
+
+// ConformanceError reports a wrapper response row that does not
+// instantiate the inferred type of the pushed plan (wire conformance mode,
+// ExecOptions.CheckTypes).
+type ConformanceError struct {
+	Source  string
+	Column  string
+	Row     int
+	Pattern string
+}
+
+func (e *ConformanceError) Error() string {
+	return fmt.Sprintf("mediator: wire conformance violation: source %s shipped row %d whose column %s does not instantiate %s",
+		e.Source, e.Row, e.Column, e.Pattern)
+}
+
+// installWireChecker attaches the wire conformance validator to the
+// evaluation context when the options request it: every shipped wrapper
+// row is checked against the SourceQuery's inferred column types, a
+// violation aborts the query with a ConformanceError and increments the
+// type_violations_total counter.
+func (m *Mediator) installWireChecker(actx *algebra.Context, plan algebra.Op, opts ExecOptions) {
+	if !opts.CheckTypes {
+		return
+	}
+	ann, err := m.TypecheckPlan(plan)
+	if err != nil {
+		return // malformed plans are the lint gate's concern
+	}
+	actx.CheckWire = func(q *algebra.SourceQuery, t *tab.Tab) error {
+		rt := ann.Types[q]
+		if rt == nil || t == nil {
+			return nil
+		}
+		for ci, col := range t.Cols {
+			p := rt.Type(col)
+			if p == nil {
+				continue
+			}
+			for ri, row := range t.Rows {
+				if !typecheck.CellConforms(ann.Model, p, row[ci]) {
+					if reg := m.Metrics(); reg != nil {
+						reg.Counter("type_violations_total").Add(1)
+					}
+					return &ConformanceError{Source: q.Source, Column: col, Row: ri, Pattern: p.String()}
+				}
+			}
+		}
+		return nil
+	}
+}
+
 // ExecuteContext composes, optimizes and executes a YAT_L query on the
 // parallel execution engine of internal/exec, under a cancellation context
 // and the given execution options. With Parallelism=1 it returns exactly
@@ -517,6 +595,7 @@ func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts Exe
 		// context, so a report it creates itself would be unreadable here.
 		actx.Partial = algebra.NewPartialReport()
 	}
+	m.installWireChecker(actx, opt, opts)
 	root := m.attachTrace(actx, opts)
 	start := time.Now()
 	t, err := exec.New(opts).Run(ctx, opt, actx)
@@ -578,6 +657,7 @@ func (m *Mediator) ExecutePlan(ctx context.Context, plan algebra.Op, opts ExecOp
 	if opts.AllowPartial {
 		actx.Partial = algebra.NewPartialReport()
 	}
+	m.installWireChecker(actx, plan, opts)
 	root := m.attachTrace(actx, opts)
 	start := time.Now()
 	t, err := exec.New(opts).Run(ctx, plan, actx)

@@ -253,6 +253,11 @@ func (w *Wrapper) ExportInterface() *capability.Interface {
 	for _, doc := range w.Documents() {
 		i.Binds[doc] = capability.BindCap{FModel: "o2fmodel", FPattern: "Fextent"}
 	}
+	schema := w.ExportSchema()
+	for _, cn := range w.DB.Schema.Order {
+		i.Structures[w.DB.Schema.Classes[cn].Extent] =
+			capability.StructureRef{Model: schema, Pattern: cn}
+	}
 	i.Operations = append(i.Operations,
 		capability.Operation{Name: "bind", Kind: "algebra",
 			Inputs: []capability.Sig{

@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/filter"
+	"repro/internal/pattern"
 	"repro/internal/planlint"
+	"repro/internal/typecheck"
 )
 
 // planGen generates random well-formed plans over the cultural-portal
@@ -132,11 +134,16 @@ func (g *planGen) gen(depth int) (algebra.Op, []string, map[string]bool) {
 // TestOptimizerPreservesInvariantsOnRandomPlans is the property test: for N
 // random valid plans, every rewriting round's output still passes
 // planlint.Check — OptimizeChecked verifies after each rule and returns the
-// first violation with the rule's name.
+// first violation with the rule's name. The same loop is the type-system
+// property test: every planlint-accepted plan typechecks (with a non-empty
+// root — the generator only builds satisfiable filters), and all three
+// optimizer rounds preserve the inferred root type, both through the
+// per-stage internal verification and an explicit end-to-end subsumption
+// check on the final plan.
 func TestOptimizerPreservesInvariantsOnRandomPlans(t *testing.T) {
 	opts, _, _ := culturalOpts(30)
 	g := &planGen{seed: 20000531}
-	for i := 0; i < 80; i++ {
+	for i := 0; i < 500; i++ {
 		plan, _, _ := g.gen(1 + g.next(4))
 		cfg := New(opts).lintConfig()
 		if ds := planlint.Check(plan, cfg); len(ds) > 0 {
@@ -144,6 +151,16 @@ func TestOptimizerPreservesInvariantsOnRandomPlans(t *testing.T) {
 				i, algebra.Describe(plan), planlint.Error(ds))
 		}
 		o := New(opts)
+		tcfg := o.typecheckConfig()
+		orig, err := typecheck.Infer(plan, tcfg)
+		if err != nil {
+			t.Fatalf("plan %d: lint-accepted plan fails to typecheck: %v\n%s",
+				i, err, algebra.Describe(plan))
+		}
+		if orig.Root.Empty {
+			t.Fatalf("plan %d: satisfiable plan inferred empty (%s)\n%s",
+				i, orig.Root, algebra.Describe(plan))
+		}
 		out, err := o.OptimizeChecked(plan)
 		if err != nil {
 			t.Errorf("plan %d: %v\ninput:\n%s", i, err, algebra.Describe(plan))
@@ -153,6 +170,24 @@ func TestOptimizerPreservesInvariantsOnRandomPlans(t *testing.T) {
 		if ds := planlint.Check(out, cfg); len(ds) > 0 {
 			t.Errorf("plan %d: final plan fails lint:\n%s\n%v",
 				i, algebra.Describe(out), planlint.Error(ds))
+		}
+		// End-to-end: the optimized root type is subsumed per shared column
+		// by the original's (the per-stage verification asserts this after
+		// every rule; this re-checks the composition from outside).
+		opt, err := typecheck.Infer(out, tcfg)
+		if err != nil {
+			t.Errorf("plan %d: optimized plan fails to typecheck: %v", i, err)
+			continue
+		}
+		for _, col := range opt.Root.Cols {
+			want, got := orig.Root.Type(col), opt.Root.Type(col)
+			if want == nil || got == nil {
+				continue
+			}
+			if !pattern.Subsumes(opt.Model, want, opt.Model, got) {
+				t.Errorf("plan %d: column %s widened by optimization: %s not subsumed by %s\ninput:\n%s\noutput:\n%s",
+					i, col, got, want, algebra.Describe(plan), algebra.Describe(out))
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/capability"
 	"repro/internal/pattern"
 	"repro/internal/planlint"
+	"repro/internal/typecheck"
 )
 
 // Containment is a declared assumption letting the optimizer prune a join
@@ -49,12 +50,21 @@ type Options struct {
 	DisableComposition bool // skip Bind–Tree elimination
 	DisablePushdown    bool // skip capability-based pushdown (round 2)
 	DisableTypeRules   bool // skip type-driven filter simplification
+	// PruneDeadBranches lets round 1 eliminate operators the type inference
+	// proves dead under the declared Structures: a Union branch with a
+	// provably-empty type is dropped, a Join/DJoin with a provably-empty
+	// side collapses to an empty literal. Off by default — it changes plan
+	// shape based on schema claims, so callers opt in.
+	PruneDeadBranches bool
 	// CheckInvariants verifies plan well-formedness with planlint after
 	// every rewriting step of every round; the first violation — named by
 	// the round and rule that introduced it — is reported through Trace and
 	// returned by OptimizeChecked. A rewrite that unbinds a variable,
 	// breaks Skolem arity or pushes an infeasible subplan is caught at the
-	// step that did it, not as a wrong answer at execution time.
+	// step that did it, not as a wrong answer at execution time. The same
+	// gate verifies every step against the input plan's inferred type: a
+	// rewrite whose root row type is no longer subsumed by the original's
+	// is reported as a *TypeError (see typedverify.go).
 	CheckInvariants bool
 	// Trace receives one line per applied rewriting when non-nil.
 	Trace func(string)
@@ -74,9 +84,11 @@ func (e *InvariantError) Error() string {
 
 // Optimizer rewrites algebraic plans.
 type Optimizer struct {
-	opts  Options
-	fresh *freshVars
-	err   error // first invariant violation (CheckInvariants only)
+	opts     Options
+	fresh    *freshVars
+	err      error // first invariant violation (CheckInvariants only)
+	tcfg     *typecheck.Config
+	origType *typecheck.RowType // input plan's root type (typed verification baseline)
 }
 
 // New returns an optimizer over the given options.
@@ -107,6 +119,8 @@ func (o *Optimizer) OptimizeChecked(plan algebra.Op) (algebra.Op, error) {
 func (o *Optimizer) optimize(plan algebra.Op) (algebra.Op, error) {
 	o.fresh = newFreshVars(plan)
 	o.err = nil
+	o.tcfg = o.typecheckConfig()
+	o.captureRootType(plan)
 	o.verify("input", plan)
 	out := o.round1(plan)
 	if !o.opts.DisablePushdown {
@@ -144,7 +158,9 @@ func (o *Optimizer) verify(stage string, plan algebra.Op) {
 	if ds := planlint.Check(plan, o.lintConfig()); len(ds) > 0 {
 		o.err = &InvariantError{Stage: stage, Diags: ds}
 		o.trace("INVARIANT BROKEN after %s:\n%v", stage, planlint.Error(ds))
+		return
 	}
+	o.verifyTypes(stage, plan)
 }
 
 // round1 simplifies compositions: Bind–Tree elimination, selection
@@ -161,6 +177,10 @@ func (o *Optimizer) round1(plan algebra.Op) algebra.Op {
 		o.verify("round1/pushSelections", plan)
 		plan = o.pruneColumns(plan, colSet(plan.Columns()))
 		o.verify("round1/pruneColumns", plan)
+		if o.opts.PruneDeadBranches && !o.opts.DisableTypeRules {
+			plan = o.pruneDeadBranches(plan)
+			o.verify("round1/pruneDeadBranches", plan)
+		}
 		if !o.opts.DisableTypeRules {
 			plan = o.expandLabelVars(plan)
 			o.verify("round1/expandLabelVars", plan)

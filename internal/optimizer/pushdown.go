@@ -195,8 +195,11 @@ func (o *Optimizer) pruneColumns(op algebra.Op, needed map[string]bool) algebra.
 	// yat-lint:ignore intentionally partial: operators without a pruning rule conservatively need all their columns (default)
 	switch x := op.(type) {
 	case *algebra.Project:
-		// Columns feeding the projection.
+		// Columns feeding the projection. The projection itself narrows to
+		// the needed columns: keeping a column the parent pruned away would
+		// reference data the pruned input no longer produces.
 		below := map[string]bool{}
+		cols := make([]string, 0, len(x.Cols))
 		for _, c := range x.Cols {
 			name, src := c, c
 			if i := strings.IndexByte(c, '='); i >= 0 {
@@ -204,9 +207,21 @@ func (o *Optimizer) pruneColumns(op algebra.Op, needed map[string]bool) algebra.
 			}
 			if needed[name] {
 				below[src] = true
+				cols = append(cols, c)
 			}
 		}
-		return &algebra.Project{From: o.pruneColumns(x.From, below), Cols: x.Cols}
+		if len(cols) == 0 && len(x.Cols) > 0 {
+			// Nothing above needs any column (e.g. a constant construction):
+			// keep one so the plan stays well-formed.
+			c := x.Cols[0]
+			src := c
+			if i := strings.IndexByte(c, '='); i >= 0 {
+				src = c[i+1:]
+			}
+			below[src] = true
+			cols = []string{c}
+		}
+		return &algebra.Project{From: o.pruneColumns(x.From, below), Cols: cols}
 	case *algebra.Select:
 		n2 := union(needed, varSet(x.Pred.Vars()))
 		return &algebra.Select{From: o.pruneColumns(x.From, n2), Pred: x.Pred}

@@ -42,6 +42,8 @@ const (
 	// abort on any diagnostic (the optimizer's CheckInvariants gate) never
 	// see them.
 	CodeDJoinDegenerate = "djoin-degenerate" // DJoin inner plan has no free variables
+	CodeTypeEmpty       = "type-empty"       // operator provably produces no rows (type inference)
+	CodeDeadBranch      = "dead-branch"      // one side of a set-combining operator is provably empty
 )
 
 // Diagnostic is one invariant violation, located by a plan path: operator
@@ -103,6 +105,7 @@ func Check(plan algebra.Op, cfg *Config) []Diagnostic {
 		env[p] = true
 	}
 	c.check(plan, "", env, false)
+	c.checkTypes(plan)
 	return c.diags
 }
 

@@ -1,0 +1,88 @@
+package planlint
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func warnConfig() *Config {
+	cfg := testConfig()
+	cfg.Warnings = true
+	return cfg
+}
+
+// deadBind is well-formed (every label exists in the declared schema) but
+// provably empty: num[Int] can never carry the string constant.
+func deadBind() *algebra.Bind {
+	return docBind(`doc[ *item[ name: $n, num: "zap" ] ]`)
+}
+
+func TestTypeEmptyWarning(t *testing.T) {
+	one(t, Check(deadBind(), warnConfig()), CodeTypeEmpty, "Bind")
+	// Without Warnings the same plan is silent: emptiness is advisory.
+	if ds := Check(deadBind(), testConfig()); len(ds) != 0 {
+		t.Fatalf("type-empty reported without Warnings: %v", ds)
+	}
+}
+
+func TestDeadBranchWarning(t *testing.T) {
+	plan := &algebra.Union{
+		L: docBind(`doc[ *item[ name: $n ] ]`),
+		R: deadBind(),
+	}
+	ds := Check(plan, warnConfig())
+	if len(ds) != 2 {
+		t.Fatalf("want dead-branch + type-empty, got %v", ds)
+	}
+	byCode := map[string]string{}
+	for _, d := range ds {
+		byCode[d.Code] = d.Path
+	}
+	if byCode[CodeDeadBranch] != "Union" {
+		t.Errorf("dead-branch path = %q, want Union", byCode[CodeDeadBranch])
+	}
+	if byCode[CodeTypeEmpty] != "Union/R/Bind" {
+		t.Errorf("type-empty path = %q, want Union/R/Bind", byCode[CodeTypeEmpty])
+	}
+}
+
+// TestDiagnosticPathsCarryNesting pins the path format for both severities:
+// errors and warnings locate their operator with the same plan-path
+// notation, including L/R side markers under binary operators.
+func TestDiagnosticPathsCarryNesting(t *testing.T) {
+	// Error severity: an unbound variable deep under Select/Join/R.
+	bad := &algebra.Select{
+		From: &algebra.Join{
+			L: docBind(`doc[ *item[ name: $n ] ]`),
+			R: &algebra.Select{
+				From: docBind(`doc[ *item[ num: $v ] ]`),
+				Pred: algebra.MustParseExpr(`$zap > 1`),
+			},
+			Pred: algebra.MustParseExpr(`$n = $v`),
+		},
+		Pred: algebra.MustParseExpr(`$v > 10`),
+	}
+	one(t, Check(bad, testConfig()), CodeUnboundVar, "Select/Join/R/Select")
+
+	// Warning severity: a degenerate DJoin nested under a Select carries the
+	// same nested path.
+	degenerate := &algebra.Select{
+		From: &algebra.DJoin{
+			L: docBind(`doc[ *item[ name: $n ] ]`),
+			R: docBind(`doc[ *item[ num: $v ] ]`),
+		},
+		Pred: algebra.MustParseExpr(`$n = "x"`),
+	}
+	one(t, Check(degenerate, warnConfig()), CodeDJoinDegenerate, "Select/DJoin")
+}
+
+// TestTypeWarningsNeedStructures: without declared schemas nothing is
+// provable and the type pass stays silent even with Warnings on.
+func TestTypeWarningsNeedStructures(t *testing.T) {
+	cfg := warnConfig()
+	cfg.Structures = nil
+	if ds := Check(deadBind(), cfg); len(ds) != 0 {
+		t.Fatalf("type warnings without structures: %v", ds)
+	}
+}

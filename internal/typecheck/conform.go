@@ -1,0 +1,27 @@
+package typecheck
+
+import (
+	"repro/internal/data"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+)
+
+// CellConforms reports whether a table cell instantiates the inferred
+// pattern. It is the wire-conformance predicate: atoms and trees are
+// checked with MatchData; nulls (absent optional bindings), sequences and
+// nested tables — whose inferred types are deliberately Any — always
+// conform.
+func CellConforms(m *pattern.Model, p *pattern.P, c tab.Cell) bool {
+	if p == nil || p.Kind == pattern.KAny {
+		return true
+	}
+	switch c.Kind {
+	case tab.CAtom:
+		a := c.Atom
+		return pattern.MatchData(m, p, &data.Node{Atom: &a})
+	case tab.CTree:
+		return pattern.MatchData(m, p, c.Tree)
+	default:
+		return true
+	}
+}

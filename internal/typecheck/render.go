@@ -1,0 +1,40 @@
+package typecheck
+
+import (
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Render prints the plan as an indented operator tree (the Describe
+// layout) with each operator's inferred row type appended:
+//
+//	Select($s = "Impressionist")  :: {$t: String, $s: String}
+//	  DJoin  :: {$t: String, $s: String}
+//	    ...
+func Render(plan algebra.Op, ann *Annotation) string {
+	var b strings.Builder
+	renderOp(&b, plan, ann, 0)
+	return b.String()
+}
+
+func renderOp(b *strings.Builder, op algebra.Op, ann *Annotation, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if op == nil {
+		b.WriteString("<nil>\n")
+		return
+	}
+	b.WriteString(op.Detail())
+	if ann != nil {
+		if rt, ok := ann.Types[op]; ok {
+			b.WriteString("  :: ")
+			b.WriteString(rt.String())
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range op.Children() {
+		renderOp(b, c, ann, depth+1)
+	}
+}

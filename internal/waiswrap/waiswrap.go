@@ -82,6 +82,7 @@ func (w *Wrapper) ExportInterface() *capability.Interface {
 	})
 	i.FModels = append(i.FModels, fm)
 	i.Binds["works"] = capability.BindCap{FModel: "waisfmodel", FPattern: "Fworks"}
+	i.Structures["works"] = capability.StructureRef{Model: w.ExportStructure(), Pattern: "Works"}
 	i.Operations = append(i.Operations,
 		capability.Operation{Name: "bind", Kind: "algebra",
 			Inputs: []capability.Sig{

@@ -1,0 +1,77 @@
+#!/bin/sh
+# typecheck_smoke.sh — end-to-end plan-typing smoke test.
+#
+# Starts both wrapper servers and the mediator console as separate
+# processes, then exercises both halves of the typing subsystem on the
+# paper's Q2:
+#   - `typecheck` renders the optimized plan annotated with the pattern
+#     types inferred from the structures the wrappers exported,
+#   - a `query` under -check-types (wire conformance mode) still returns
+#     rows — the live wrappers honor their own declared schemas.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+O2_PORT=17076
+WAIS_PORT=17070
+PIDS=""
+
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "typecheck-smoke: building binaries"
+go build -o "$WORK/o2-wrapper" ./cmd/o2-wrapper
+go build -o "$WORK/xmlwais-wrapper" ./cmd/xmlwais-wrapper
+go build -o "$WORK/yat-mediator" ./cmd/yat-mediator
+
+"$WORK/o2-wrapper" -port $O2_PORT >"$WORK/o2.log" 2>&1 &
+PIDS="$PIDS $!"
+"$WORK/xmlwais-wrapper" -port $WAIS_PORT >"$WORK/wais.log" 2>&1 &
+PIDS="$PIDS $!"
+
+i=0
+until grep -q "is running at" "$WORK/o2.log" 2>/dev/null &&
+      grep -q "is running at" "$WORK/wais.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "typecheck-smoke: FAIL — wrappers did not come up" >&2
+        cat "$WORK/o2.log" "$WORK/wais.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+cat >"$WORK/session.txt" <<EOF
+connect o2artifact 127.0.0.1:$O2_PORT
+connect xmlartwork 127.0.0.1:$WAIS_PORT
+load view1.yat
+typecheck MAKE result[ title: \$t, price: \$p ]
+MATCH artworks WITH doc[ *work[ title: \$t, style: \$s, price: \$p ] ]
+WHERE \$s = "Impressionist" AND \$p < 200000 ;
+query MAKE result[ title: \$t, price: \$p ]
+MATCH artworks WITH doc[ *work[ title: \$t, style: \$s, price: \$p ] ]
+WHERE \$s = "Impressionist" AND \$p < 200000 ;
+quit
+EOF
+
+echo "typecheck-smoke: running typecheck + checked query on Q2"
+"$WORK/yat-mediator" -check-types -script "$WORK/session.txt" >"$WORK/typecheck.out" 2>&1
+
+for want in "typed plan (root" " :: " "SourceQuery(xmlartwork)" "String" " rows (fetches="; do
+    if ! grep -q "$want" "$WORK/typecheck.out"; then
+        echo "typecheck-smoke: FAIL — output lacks \"$want\"" >&2
+        cat "$WORK/typecheck.out" >&2
+        exit 1
+    fi
+done
+if grep -q "error:" "$WORK/typecheck.out"; then
+    echo "typecheck-smoke: FAIL — session reported an error" >&2
+    cat "$WORK/typecheck.out" >&2
+    exit 1
+fi
+
+echo "typecheck-smoke: OK"
