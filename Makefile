@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke bench-trace
+.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke bench-trace fuzz-short
 
-check: build vet test lint fault-matrix bench-smoke profile-smoke typecheck-smoke
+check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ test:
 
 lint:
 	$(GO) run ./cmd/yat-lint ./...
+
+# A short fuzzing pass over the XQuery-FLWR parser: crash-freedom plus the
+# parse/print/re-parse fixpoint property, seeded by the checked-in corpus.
+fuzz-short:
+	$(GO) test -run FuzzParseQuery -fuzz FuzzParseQuery -fuzztime 10s ./internal/xq
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -32,10 +37,10 @@ fault-matrix:
 	$(GO) test -race -run 'TestFaultMatrix|TestOnePercentFaultRate|TestAllowPartial|TestBreaker' ./internal/mediator ./internal/wire ./internal/faults
 
 # Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs traced vs
-# cached vs 1%-fault recovery) for CI trend tracking; asserts row equality
-# across all variants as it runs.
+# cached vs 1%-fault recovery vs compiled-from-XQuery) for CI trend
+# tracking; asserts row equality across all variants as it runs.
 bench-json:
-	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR5.json
+	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR7.json
 
 # End-to-end observability smoke: both wrappers and the mediator console as
 # real processes, `profile` on Q2, the rendered span tree checked for

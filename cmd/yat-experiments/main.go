@@ -12,12 +12,12 @@
 // Usage:
 //
 //	yat-experiments [-quick]
-//	yat-experiments -bench-json BENCH_PR5.json
+//	yat-experiments -bench-json BENCH_PR7.json
 //
 // With -bench-json, only the Fig. 9 Q2 measurements run (per-row, batched,
-// parallel, warm cache, plus a 1%-fault-rate recovery variant) and the
-// results are written as JSON for CI trend tracking instead of the
-// human-readable tables.
+// parallel, warm cache, a 1%-fault-rate recovery variant, plus the same
+// query compiled from XQuery-FLWR text) and the results are written as
+// JSON for CI trend tracking instead of the human-readable tables.
 package main
 
 import (
@@ -792,9 +792,10 @@ type benchRecord struct {
 }
 
 // benchJSON runs the Fig. 9 Q2 variants (per-row serial and parallel,
-// batched serial and parallel, warm cache, and per-row under a 1% injected
-// fault rate, and batched with tracing on) over the wire deployment and
-// writes machine-readable results — the CI artifact BENCH_PR5.json.
+// batched serial and parallel, warm cache, per-row under a 1% injected
+// fault rate, batched with tracing on, and the same query compiled from
+// XQuery-FLWR text) over the wire deployment and writes machine-readable
+// results — the CI artifact BENCH_PR7.json.
 func benchJSON(path string, n int) error {
 	const latency = 2 * time.Millisecond
 	m, _, teardown, err := wireDeploy(n, latency)
@@ -805,14 +806,22 @@ func benchJSON(path string, n int) error {
 
 	variants := []struct {
 		name string
+		src  string
 		opts mediator.ExecOptions
 	}{
-		{"q2_per_row_serial", mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}},
-		{"q2_per_row_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute, PerRowDJoin: true}},
-		{"q2_batched_serial", mediator.ExecOptions{Parallelism: 1}},
-		{"q2_batched_traced", mediator.ExecOptions{Parallelism: 1, Trace: true}},
-		{"q2_batched_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
-		{"q2_warm_cache", mediator.ExecOptions{Parallelism: 1, CacheSize: 4096}},
+		{"q2_per_row_serial", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}},
+		{"q2_per_row_parallel4", datagen.Q2Src, mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute, PerRowDJoin: true}},
+		{"q2_batched_serial", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1}},
+		{"q2_batched_traced", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1, Trace: true}},
+		{"q2_batched_parallel4", datagen.Q2Src, mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+		// The same query compiled from XQuery-FLWR text: parse + compile
+		// overhead included, rows must match the hand-built plan exactly.
+		// These run before the warm-cache variant: enabling the result
+		// cache is sticky, and the compiled plan is identical to the
+		// hand-built one, so it would be answered from cache.
+		{"q2_xquery_batched_serial", datagen.Q2XQuerySrc, mediator.ExecOptions{Parallelism: 1}},
+		{"q2_xquery_batched_parallel4", datagen.Q2XQuerySrc, mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+		{"q2_warm_cache", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1, CacheSize: 4096}},
 	}
 	var records []benchRecord
 	var baseline *mediator.Result
@@ -821,14 +830,14 @@ func benchJSON(path string, n int) error {
 		// The warm-cache variant measures its second run; the first fills
 		// the cache.
 		res, d, err := med(func() (*mediator.Result, error) {
-			return m.ExecuteContext(context.Background(), datagen.Q2Src, v.opts)
+			return m.ExecuteContext(context.Background(), v.src, v.opts)
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
 		if v.opts.CacheSize > 0 {
 			if res, d, err = med(func() (*mediator.Result, error) {
-				return m.ExecuteContext(context.Background(), datagen.Q2Src, v.opts)
+				return m.ExecuteContext(context.Background(), v.src, v.opts)
 			}); err != nil {
 				return fmt.Errorf("%s: %w", v.name, err)
 			}

@@ -2,11 +2,13 @@
 // mediator, built only on the standard library (go/ast, go/parser,
 // go/types). It enforces three invariants the general Go toolchain cannot:
 //
-//  1. Exhaustive algebra.Op type switches: any type switch whose tag is an
-//     algebra.Op must handle every Op implementation declared in
-//     internal/algebra. Adding a new operator to op.go therefore fails the
-//     lint at every rewrite or execution switch that silently ignores it —
-//     the class of bug that turns a new operator into a no-op plan node.
+//  1. Exhaustive sealed-interface type switches: any type switch whose tag
+//     is an algebra.Op or an xq.Node must handle every implementation
+//     declared in the owning package. Adding a new operator to op.go (or a
+//     new AST node to internal/xq) therefore fails the lint at every
+//     rewrite, execution, printing or compilation switch that silently
+//     ignores it — the class of bug that turns a new operator into a no-op
+//     plan node or drops a new syntax form on the floor.
 //  2. No mutation of a shared *tab.Tab: a function receiving a *tab.Tab
 //     parameter treats it as a shared operand (operator inputs are reused
 //     across plan branches) and must not call its mutating methods
@@ -43,6 +45,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -50,10 +53,29 @@ import (
 
 const (
 	algebraPath   = "repro/internal/algebra"
+	xqPath        = "repro/internal/xq"
 	tabPath       = "repro/internal/tab"
 	typecheckPath = "repro/internal/typecheck"
 	ignoreTag     = "yat-lint:ignore"
 )
+
+// A sealedIface names an interface whose implementation set is closed within
+// its declaring package, making exhaustive type switches checkable.
+type sealedIface struct {
+	path, name string
+}
+
+// sealedIfaces are the interfaces check 1 enforces exhaustiveness for.
+var sealedIfaces = []sealedIface{
+	{algebraPath, "Op"},
+	{xqPath, "Node"},
+}
+
+// sealedSet pairs a sealed interface with its discovered implementations.
+type sealedSet struct {
+	iface sealedIface
+	impls map[string]bool
+}
 
 // tabMutators are the *tab.Tab methods that modify the receiver in place.
 var tabMutators = map[string]bool{
@@ -91,7 +113,11 @@ func run(pats []string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	exports, err := exportData(pats)
+	// The sealed-interface packages are always listed explicitly: analyzing
+	// a package subset (yat-lint ./internal/foo) must not fail just because
+	// the subset's dependency closure misses algebra or xq.
+	exportPats := append(append([]string{}, pats...), algebraPath, xqPath)
+	exports, err := exportData(exportPats)
 	if err != nil {
 		return nil, err
 	}
@@ -104,16 +130,21 @@ func run(pats []string) ([]string, error) {
 		return os.Open(p)
 	})
 
-	// The algebra.Op implementation set comes from the compiled algebra
-	// package, so the lint tracks op.go automatically.
-	ops, err := opImplementations(imp)
-	if err != nil {
-		return nil, err
+	// Each implementation set comes from the compiled declaring package, so
+	// the lint tracks op.go / ast.go automatically.
+	var sealed []sealedSet
+	for _, si := range sealedIfaces {
+		impls, err := implementations(imp, si)
+		if err != nil {
+			return nil, err
+		}
+		sealed = append(sealed, sealedSet{iface: si, impls: impls})
 	}
+	ops := sealed[0].impls // algebra.Op, used by check 3
 
 	var findings []string
 	for _, pkg := range pkgs {
-		fs, err := lintPackage(fset, imp, pkg, ops)
+		fs, err := lintPackage(fset, imp, pkg, sealed)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
 		}
@@ -227,42 +258,42 @@ func goTool(args []string) (string, error) {
 	return string(out), nil
 }
 
-// opImplementations returns the names of all concrete types in the algebra
-// package whose pointer implements algebra.Op.
-func opImplementations(imp types.Importer) (map[string]bool, error) {
-	alg, err := imp.Import(algebraPath)
+// implementations returns the names of all concrete types in the sealed
+// interface's declaring package whose value or pointer implements it.
+func implementations(imp types.Importer, si sealedIface) (map[string]bool, error) {
+	pkg, err := imp.Import(si.path)
 	if err != nil {
-		return nil, fmt.Errorf("importing %s: %w", algebraPath, err)
+		return nil, fmt.Errorf("importing %s: %w", si.path, err)
 	}
-	opObj := alg.Scope().Lookup("Op")
-	if opObj == nil {
-		return nil, fmt.Errorf("%s has no Op interface", algebraPath)
+	obj := pkg.Scope().Lookup(si.name)
+	if obj == nil {
+		return nil, fmt.Errorf("%s has no %s interface", si.path, si.name)
 	}
-	opIface, ok := opObj.Type().Underlying().(*types.Interface)
+	iface, ok := obj.Type().Underlying().(*types.Interface)
 	if !ok {
-		return nil, fmt.Errorf("%s.Op is not an interface", algebraPath)
+		return nil, fmt.Errorf("%s.%s is not an interface", si.path, si.name)
 	}
-	ops := map[string]bool{}
-	for _, name := range alg.Scope().Names() {
-		tn, ok := alg.Scope().Lookup(name).(*types.TypeName)
-		if !ok || tn.IsAlias() || name == "Op" {
+	impls := map[string]bool{}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() || name == si.name {
 			continue
 		}
 		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
 			continue
 		}
-		if types.Implements(types.NewPointer(tn.Type()), opIface) {
-			ops[name] = true
+		if types.Implements(types.NewPointer(tn.Type()), iface) {
+			impls[name] = true
 		}
 	}
-	if len(ops) == 0 {
-		return nil, fmt.Errorf("no Op implementations found in %s", algebraPath)
+	if len(impls) == 0 {
+		return nil, fmt.Errorf("no %s implementations found in %s", si.name, si.path)
 	}
-	return ops, nil
+	return impls, nil
 }
 
 // lintPackage type-checks one package from source and runs both checks.
-func lintPackage(fset *token.FileSet, imp types.Importer, pkg pkgInfo, ops map[string]bool) ([]string, error) {
+func lintPackage(fset *token.FileSet, imp types.Importer, pkg pkgInfo, sealed []sealedSet) ([]string, error) {
 	var files []*ast.File
 	for _, name := range pkg.GoFiles {
 		path := filepath.Join(pkg.Dir, name)
@@ -291,11 +322,11 @@ func lintPackage(fset *token.FileSet, imp types.Importer, pkg pkgInfo, ops map[s
 	if typeErr != nil {
 		return nil, typeErr
 	}
-	return analyze(fset, files, info, pkg.ImportPath, ops), nil
+	return analyze(fset, files, info, pkg.ImportPath, sealed), nil
 }
 
 // analyze runs both checks over a type-checked package.
-func analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, ops map[string]bool) []string {
+func analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, sealed []sealedSet) []string {
 	ignored := map[string]map[int]bool{} // filename → lines carrying an ignore tag
 	for _, f := range files {
 		lines := map[int]bool{}
@@ -308,7 +339,7 @@ func analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath s
 		}
 		ignored[fset.Position(f.Pos()).Filename] = lines
 	}
-	c := &checker{fset: fset, info: info, ops: ops, ignored: ignored, pkgPath: pkgPath}
+	c := &checker{fset: fset, info: info, sealed: sealed, ignored: ignored, pkgPath: pkgPath}
 	for _, f := range files {
 		c.file(f)
 	}
@@ -318,7 +349,7 @@ func analyze(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath s
 type checker struct {
 	fset     *token.FileSet
 	info     *types.Info
-	ops      map[string]bool
+	sealed   []sealedSet
 	ignored  map[string]map[int]bool
 	pkgPath  string
 	findings []string
@@ -468,15 +499,25 @@ func (c *checker) checkTabWrite(as *ast.AssignStmt) {
 	}
 }
 
-// checkOpSwitch flags algebra.Op type switches that do not handle every
-// implementation.
+// checkOpSwitch flags sealed-interface type switches (algebra.Op, xq.Node)
+// that do not handle every implementation.
 func (c *checker) checkOpSwitch(sw *ast.TypeSwitchStmt) {
 	tag := switchTag(sw)
 	if tag == nil {
 		return
 	}
 	tv, ok := c.info.Types[tag]
-	if !ok || !isAlgebraOp(tv.Type) {
+	if !ok {
+		return
+	}
+	var set *sealedSet
+	for i := range c.sealed {
+		if isSealedIface(tv.Type, c.sealed[i].iface) {
+			set = &c.sealed[i]
+			break
+		}
+	}
+	if set == nil {
 		return
 	}
 	handled := map[string]bool{}
@@ -490,24 +531,26 @@ func (c *checker) checkOpSwitch(sw *ast.TypeSwitchStmt) {
 			if !ok {
 				continue
 			}
-			if ptr, ok := et.Type.(*types.Pointer); ok {
-				if named, ok := ptr.Elem().(*types.Named); ok &&
-					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == algebraPath {
-					handled[named.Obj().Name()] = true
-				}
+			t := et.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == set.iface.path {
+				handled[named.Obj().Name()] = true
 			}
 		}
 	}
 	var missing []string
-	for op := range c.ops {
-		if !handled[op] {
-			missing = append(missing, op)
+	for impl := range set.impls {
+		if !handled[impl] {
+			missing = append(missing, impl)
 		}
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
-		c.report(sw.Pos(), "type switch over algebra.Op misses %d implementation(s): %s",
-			len(missing), strings.Join(missing, ", "))
+		c.report(sw.Pos(), "type switch over %s.%s misses %d implementation(s): %s",
+			path.Base(set.iface.path), set.iface.name, len(missing), strings.Join(missing, ", "))
 	}
 }
 
@@ -529,10 +572,10 @@ func switchTag(sw *ast.TypeSwitchStmt) ast.Expr {
 	return nil
 }
 
-func isAlgebraOp(t types.Type) bool {
+func isSealedIface(t types.Type, si sealedIface) bool {
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	return named.Obj().Pkg().Path() == algebraPath && named.Obj().Name() == "Op"
+	return named.Obj().Pkg().Path() == si.path && named.Obj().Name() == si.name
 }

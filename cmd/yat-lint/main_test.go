@@ -14,10 +14,10 @@ import (
 )
 
 // harness type-checks one synthetic source file against the real compiled
-// algebra and tab packages and returns the lint findings.
+// algebra, tab and xq packages and returns the lint findings.
 func harness(t *testing.T, src string) []string {
 	t.Helper()
-	exports, err := exportData([]string{algebraPath, tabPath})
+	exports, err := exportData([]string{algebraPath, tabPath, xqPath})
 	if err != nil {
 		t.Fatalf("export data: %v", err)
 	}
@@ -29,9 +29,13 @@ func harness(t *testing.T, src string) []string {
 		}
 		return os.Open(p)
 	})
-	ops, err := opImplementations(imp)
-	if err != nil {
-		t.Fatalf("op implementations: %v", err)
+	var sealed []sealedSet
+	for _, si := range sealedIfaces {
+		impls, err := implementations(imp, si)
+		if err != nil {
+			t.Fatalf("implementations(%v): %v", si, err)
+		}
+		sealed = append(sealed, sealedSet{iface: si, impls: impls})
 	}
 	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
@@ -44,11 +48,11 @@ func harness(t *testing.T, src string) []string {
 	}
 	conf := types.Config{Importer: imp, Error: func(err error) { t.Errorf("type error: %v", err) }}
 	conf.Check("synthetic", fset, []*ast.File{f}, info)
-	return analyze(fset, []*ast.File{f}, info, "synthetic", ops)
+	return analyze(fset, []*ast.File{f}, info, "synthetic", sealed)
 }
 
-func TestOpImplementationSet(t *testing.T) {
-	exports, err := exportData([]string{algebraPath})
+func TestImplementationSets(t *testing.T) {
+	exports, err := exportData([]string{algebraPath, xqPath})
 	if err != nil {
 		t.Fatalf("export data: %v", err)
 	}
@@ -56,7 +60,7 @@ func TestOpImplementationSet(t *testing.T) {
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		return os.Open(exports[path])
 	})
-	ops, err := opImplementations(imp)
+	ops, err := implementations(imp, sealedIface{algebraPath, "Op"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +72,19 @@ func TestOpImplementationSet(t *testing.T) {
 	}
 	if len(ops) < 10 {
 		t.Errorf("suspiciously few Op implementations: %v", ops)
+	}
+	nodes, err := implementations(imp, sealedIface{xqPath, "Node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Query", "ForClause", "PathExpr", "Step", "PosPred",
+		"CmpExpr", "LogicExpr", "Literal", "ElemCons", "TextCons"} {
+		if !nodes[want] {
+			t.Errorf("Node implementation set misses %s (have %v)", want, nodes)
+		}
+	}
+	if len(nodes) != 10 {
+		t.Errorf("Node implementation set = %v, want exactly the 10 AST kinds", nodes)
 	}
 }
 
@@ -129,6 +146,45 @@ func f(op algebra.Op) {
 `)
 	if len(findings) != 0 {
 		t.Fatalf("exhaustive switch flagged: %v", findings)
+	}
+}
+
+func TestNonExhaustiveNodeSwitchIsFlagged(t *testing.T) {
+	findings := harness(t, `package synthetic
+
+import "repro/internal/xq"
+
+func f(n xq.Node) int {
+	switch n.(type) {
+	case *xq.PathExpr:
+		return 1
+	default:
+		return 0
+	}
+}
+`)
+	if len(findings) != 1 || !strings.Contains(findings[0], "xq.Node misses") {
+		t.Fatalf("want one xq.Node exhaustiveness finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0], "ElemCons") {
+		t.Errorf("finding should name missing node kinds: %v", findings)
+	}
+}
+
+func TestExhaustiveNodeSwitchIsClean(t *testing.T) {
+	findings := harness(t, `package synthetic
+
+import "repro/internal/xq"
+
+func f(n xq.Node) {
+	switch n.(type) {
+	case *xq.Query, *xq.ForClause, *xq.PathExpr, *xq.Step, *xq.PosPred,
+		*xq.CmpExpr, *xq.LogicExpr, *xq.Literal, *xq.ElemCons, *xq.TextCons:
+	}
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("exhaustive xq.Node switch flagged: %v", findings)
 	}
 }
 

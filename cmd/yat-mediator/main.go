@@ -64,12 +64,18 @@
 //	assume <dropdoc> <keepdoc>     declare a containment assumption
 //	status                         list sources and views
 //	health                         per-source circuit-breaker state
-//	query  <YAT_L query> ;         optimize and evaluate
-//	naive  <YAT_L query> ;         evaluate without optimization
-//	explain <YAT_L query> ;        show naive and optimized plans
-//	profile <YAT_L query> ;        evaluate with tracing, render the span tree
-//	typecheck <YAT_L query> ;      show the optimized plan with inferred types
+//	query  <query> ;               optimize and evaluate (YAT_L or XQuery-FLWR)
+//	xq <query> ;                   evaluate XQuery-FLWR, showing the lowered rule
+//	naive  <query> ;               evaluate without optimization
+//	explain <query> ;              show naive and optimized plans
+//	profile <query> ;              evaluate with tracing, render the span tree
+//	typecheck <query> ;            show the optimized plan with inferred types
+//	help                           list commands
 //	quit
+//
+// Queries may be written in YAT_L (MAKE ... MATCH ... WITH ... WHERE ...) or
+// in the XQuery-FLWR dialect of internal/xq (for $v in doc("d")/path ...);
+// the mediator detects the dialect from the first token.
 package main
 
 import (
@@ -92,6 +98,8 @@ import (
 	"repro/internal/typecheck"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
+	"repro/internal/xq"
+	xqcompile "repro/internal/xq/compile"
 )
 
 // dialConfig carries the connection-level configuration every `connect`
@@ -226,7 +234,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "yat> ")
 	var queryBuf strings.Builder
-	mode := "" // "", "query", "naive", "explain", "profile", "typecheck"
+	mode := "" // "", "query", "naive", "explain", "profile", "typecheck", "xq"
 	for sc.Scan() {
 		line := sc.Text()
 		if mode != "" {
@@ -301,7 +309,9 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 			fmt.Fprint(out, m.Describe())
 		case "health":
 			printHealth(out, m)
-		case "query", "naive", "explain", "profile", "typecheck":
+		case "help":
+			printHelp(out)
+		case "query", "naive", "explain", "profile", "typecheck", "xq":
 			mode = fields[0]
 			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 			queryBuf.WriteString(rest)
@@ -312,7 +322,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 				mode = ""
 			}
 		default:
-			fmt.Fprintf(out, "unknown command %q (try: connect, import, load, assume, status, health, query, naive, explain, profile, typecheck, quit)\n", fields[0])
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", fields[0])
 		}
 		fmt.Fprint(out, "yat> ")
 	}
@@ -364,9 +374,47 @@ func importStructures(m *mediator.Mediator, c *wire.Client) error {
 	return nil
 }
 
+// printHelp lists every console command with a one-line usage.
+func printHelp(out io.Writer) {
+	fmt.Fprint(out, ` commands (queries end with ';' and may span lines):
+  connect <name> <host:port>     connect and import a wrapper
+  import <name>                  (re)import a wrapper's capabilities
+  load <file>                    load a YAT_L program (view definitions)
+  assume <drop> <keep> [modulo]  declare a containment assumption
+  status                         list sources and views
+  health                         per-source circuit-breaker state
+  query <query> ;                optimize and evaluate (YAT_L or XQuery-FLWR)
+  xq <query> ;                   evaluate XQuery-FLWR, showing the lowered YAT_L rule
+  naive <query> ;                evaluate without optimization
+  explain <query> ;              show naive and optimized plans
+  profile <query> ;              evaluate with tracing, render the span tree
+  typecheck <query> ;            show the optimized plan with inferred types
+  help                           this list
+  quit                           exit
+`)
+}
+
 func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediator.ExecOptions, sess *dialConfig) {
 	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";"))
 	switch mode {
+	case "xq":
+		q, err := xq.Parse(src)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		rule, err := xqcompile.Rule(q, xqcompile.Options{IsView: func(d string) bool { return m.View(d) != nil }})
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "lowered rule:\n%s", indent(rule.String()))
+		res, err := m.ExecuteContext(context.Background(), src, opts)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		printResult(out, res)
 	case "explain":
 		naive, err := m.Compose(src)
 		if err != nil {

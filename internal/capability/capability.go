@@ -156,6 +156,28 @@ type Operation struct {
 	Kind   string // "algebra", "boolean", "external", "method"
 	Inputs []Sig
 	Output *Sig
+	// Docs, when non-empty, restricts the operation to plans over the named
+	// documents. An empty Docs means the operation applies to every document
+	// the source exports (the pre-scoping behavior). A source may declare
+	// the same operation name several times with disjoint Docs sets — e.g. a
+	// join over its extents and, separately, a join over its node-number
+	// tables — without thereby claiming it can join the two families
+	// together (CoversOperation requires a single declaration to cover the
+	// whole document set of a pushed plan).
+	Docs []string
+}
+
+// covers reports whether this declaration applies to the named document.
+func (op *Operation) covers(doc string) bool {
+	if len(op.Docs) == 0 {
+		return true
+	}
+	for _, d := range op.Docs {
+		if d == doc {
+			return true
+		}
+	}
+	return false
 }
 
 // Equivalence is a declared semantic connection between an algebra
@@ -228,8 +250,64 @@ func (i *Interface) Operation(name string) *Operation {
 	return nil
 }
 
-// HasOperation reports whether the source declared the operation.
+// HasOperation reports whether the source declared the operation for at
+// least one of its documents. Callers that know which documents a pushed
+// plan touches should prefer CoversOperation.
 func (i *Interface) HasOperation(name string) bool { return i.Operation(name) != nil }
+
+// CoversOperation reports whether a single declared operation entry named
+// name applies to every document in docs. A declaration with empty Docs
+// covers everything; a scoped declaration covers only its listed documents.
+// Requiring one entry to cover the whole set (rather than each doc being
+// covered by some entry) keeps a source honest about cross-family
+// operations: declaring join over its extents and, separately, join over
+// its node tables does not claim a join mixing the two.
+func (i *Interface) CoversOperation(name string, docs []string) bool {
+	for k := range i.Operations {
+		op := &i.Operations[k]
+		if op.Name != name {
+			continue
+		}
+		all := true
+		for _, d := range docs {
+			if !op.covers(d) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// HasOperationFor reports whether the operation is declared for one document.
+func (i *Interface) HasOperationFor(name, doc string) bool {
+	return i.CoversOperation(name, []string{doc})
+}
+
+// OperationFor resolves the first operation entry named name that covers the
+// given document set; nil when absent.
+func (i *Interface) OperationFor(name string, docs []string) *Operation {
+	for k := range i.Operations {
+		op := &i.Operations[k]
+		if op.Name != name {
+			continue
+		}
+		all := true
+		for _, d := range docs {
+			if !op.covers(d) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return op
+		}
+	}
+	return nil
+}
 
 // Equivalence resolves a declared equivalence by target predicate.
 func (i *Interface) EquivalenceTo(to string) *Equivalence {

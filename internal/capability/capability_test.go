@@ -350,3 +350,69 @@ func TestStructureXMLRoundTrip(t *testing.T) {
 		t.Error("reparsed pattern does not subsume itself")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Document-scoped operations (PR 7)
+// ---------------------------------------------------------------------------
+
+func TestOperationDocScoping(t *testing.T) {
+	i := NewInterface("scoped")
+	i.Operations = append(i.Operations,
+		Operation{Name: "bind", Kind: "algebra"}, // unscoped: all docs
+		Operation{Name: "join", Kind: "algebra", Docs: []string{"artifacts", "persons"}},
+		Operation{Name: "join", Kind: "algebra", Docs: []string{"artifacts.nodes"}},
+		Operation{Name: "lt", Kind: "boolean", Docs: []string{"artifacts.nodes"}},
+	)
+	if !i.CoversOperation("bind", []string{"artifacts", "artifacts.nodes"}) {
+		t.Fatalf("unscoped operation must cover every doc")
+	}
+	if !i.CoversOperation("join", []string{"artifacts", "persons"}) {
+		t.Fatalf("join should cover the extent family")
+	}
+	if !i.CoversOperation("join", []string{"artifacts.nodes"}) {
+		t.Fatalf("join should cover the node-table family")
+	}
+	// The crucial case: both families are individually joinable, but no
+	// single declaration covers a mix, so a merged cross-family join is out.
+	if i.CoversOperation("join", []string{"artifacts", "artifacts.nodes"}) {
+		t.Fatalf("cross-family join must not be covered")
+	}
+	if i.HasOperationFor("lt", "artifacts") {
+		t.Fatalf("lt is scoped to the node table only")
+	}
+	if !i.HasOperationFor("lt", "artifacts.nodes") {
+		t.Fatalf("lt should be available on the node table")
+	}
+	// Empty doc set degenerates to plain presence.
+	if !i.CoversOperation("lt", nil) {
+		t.Fatalf("empty doc set should behave like HasOperation")
+	}
+	if i.CoversOperation("gt", nil) {
+		t.Fatalf("undeclared operation must not be covered")
+	}
+}
+
+func TestOperationDocsXMLRoundTrip(t *testing.T) {
+	i := NewInterface("scoped")
+	i.Operations = append(i.Operations,
+		Operation{Name: "select", Kind: "algebra"},
+		Operation{Name: "lt", Kind: "boolean", Docs: []string{"works.nodes", "extra.nodes"}},
+	)
+	back, err := Unmarshal(Marshal(i))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	op := back.OperationFor("lt", []string{"works.nodes", "extra.nodes"})
+	if op == nil {
+		t.Fatalf("scoped lt lost in round-trip:\n%s", Marshal(i))
+	}
+	if len(op.Docs) != 2 || op.Docs[0] != "works.nodes" || op.Docs[1] != "extra.nodes" {
+		t.Fatalf("docs mangled: %v", op.Docs)
+	}
+	if sel := back.Operation("select"); sel == nil || len(sel.Docs) != 0 {
+		t.Fatalf("unscoped select should stay unscoped")
+	}
+	if back.CoversOperation("lt", []string{"works"}) {
+		t.Fatalf("round-tripped scope must still exclude other docs")
+	}
+}

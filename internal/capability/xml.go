@@ -2,6 +2,7 @@ package capability
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/data"
 	"repro/internal/pattern"
@@ -223,6 +224,9 @@ func ToXML(i *Interface) *data.Node {
 		oe := data.Elem("operation")
 		oe.Add(data.Text("@name", op.Name))
 		oe.Add(data.Text("@kind", op.Kind))
+		if len(op.Docs) > 0 {
+			oe.Add(data.Text("@docs", strings.Join(op.Docs, " ")))
+		}
 		if len(op.Inputs) > 0 {
 			in := data.Elem("input")
 			for _, s := range op.Inputs {
@@ -303,6 +307,9 @@ func FromXML(n *data.Node) (*Interface, error) {
 			i.Structures[attr(k, "doc")] = StructureRef{Model: m, Pattern: attr(k, "pattern")}
 		case "operation":
 			op := Operation{Name: attr(k, "name"), Kind: attr(k, "kind")}
+			if ds := attr(k, "docs"); ds != "" {
+				op.Docs = strings.Fields(ds)
+			}
 			if in := k.Child("input"); in != nil {
 				for _, s := range in.Kids {
 					if isAttr(s) {

@@ -46,6 +46,18 @@ MATCH artworks WITH doc[ *work[ title: $t, style: $s, price: $p ] ]
 WHERE $s = "Impressionist" AND $p < 200000
 `
 
+// Q1XQuerySrc is Q1 in the XQuery-FLWR dialect of internal/xq; it compiles
+// to the same algebra as Q1Src and must return byte-identical rows.
+const Q1XQuerySrc = `for $w in doc("artworks")/doc/work
+where $w/more/cplace = "Giverny"
+return $w/title`
+
+// Q2XQuerySrc is Q2 in the XQuery-FLWR dialect; the element constructor
+// mirrors Q2Src's MAKE pattern.
+const Q2XQuerySrc = `for $w in doc("artworks")/doc/work
+where $w/style = "Impressionist" and $w/price < 200000
+return <result><title>{$w/title}</title><price>{$w/price}</price></result>`
+
 // MuseumSrc is the Wais source configuration of Figure 2 (museum.src).
 const MuseumSrc = `
 source museum

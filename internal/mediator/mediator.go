@@ -22,6 +22,8 @@ import (
 	"repro/internal/planlint"
 	"repro/internal/tab"
 	"repro/internal/typecheck"
+	"repro/internal/xq"
+	xqcompile "repro/internal/xq/compile"
 	"repro/internal/yatl"
 )
 
@@ -230,17 +232,38 @@ func (m *Mediator) newContext() *algebra.Context {
 
 // Compose parses a query and substitutes view definitions for the named
 // documents it matches, yielding the naive composed plan (the left-hand
-// side of Figure 8).
+// side of Figure 8). Two dialects are accepted: YAT_L query bodies
+// (MAKE/MATCH/WHERE) and XPath/XQuery-FLWR text (`for $v in doc(...)...` or
+// a bare path), which internal/xq/compile lowers to the same algebra.
 func (m *Mediator) Compose(querySrc string) (algebra.Op, error) {
-	q, err := yatl.ParseQuery(querySrc)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := yatl.Translate(q)
+	plan, err := m.compose(querySrc)
 	if err != nil {
 		return nil, err
 	}
 	return m.substituteViews(plan, 0)
+}
+
+func (m *Mediator) compose(querySrc string) (algebra.Op, error) {
+	if xq.IsQuery(querySrc) {
+		q, err := xq.Parse(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(querySrc), ";")))
+		if err != nil {
+			return nil, err
+		}
+		return xqcompile.Compile(q, m.xqOptions())
+	}
+	q, err := yatl.ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	return yatl.Translate(q)
+}
+
+// xqOptions configures the xq compiler against this mediator's catalog.
+func (m *Mediator) xqOptions() xqcompile.Options {
+	return xqcompile.Options{IsView: func(doc string) bool {
+		_, ok := m.views[doc]
+		return ok
+	}}
 }
 
 // substituteViews replaces Bind(doc) leaves naming views with Binds over

@@ -1,0 +1,233 @@
+package nodetab
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/data"
+	"repro/internal/filter"
+)
+
+// fixture builds a small two-document forest:
+//
+//	work[ title:"A", more[ cplace:"X" ] ]
+//	work[ title:"B" ]
+func fixture() data.Forest {
+	return data.Forest{
+		data.Elem("work",
+			data.Text("title", "A"),
+			data.Elem("more", data.Text("cplace", "X")),
+		),
+		data.Elem("work", data.Text("title", "B")),
+	}
+}
+
+func rowField(row *data.Node, f string) data.Atom {
+	c := row.Child(f)
+	if c == nil || c.Atom == nil {
+		return data.Atom{}
+	}
+	return *c.Atom
+}
+
+func TestBuildNumbering(t *testing.T) {
+	table := Build(fixture())
+	if len(table) != 6 {
+		t.Fatalf("expected 6 node rows, got %d", len(table))
+	}
+	// Rows are emitted in pre-order: pre ranks are 0..n-1 in sequence.
+	byPre := map[int64]*data.Node{}
+	for i, row := range table {
+		pre := rowField(row, "pre").I
+		if pre != int64(i) {
+			t.Fatalf("row %d has pre %d; want pre-order emission", i, pre)
+		}
+		byPre[pre] = row
+	}
+	// Structural spot checks.
+	root0 := byPre[0]
+	if rowField(root0, "name").S != "work" || rowField(root0, "parent").I != -1 {
+		t.Fatalf("root row mangled: %s", root0)
+	}
+	if rowField(root0, "pos").I != 1 {
+		t.Fatalf("first work should have pos 1")
+	}
+	// Second work root: pre 4 (work, title, more, cplace precede it).
+	root1 := byPre[4]
+	if rowField(root1, "name").S != "work" || rowField(root1, "pos").I != 2 {
+		t.Fatalf("second work row mangled: %s", root1)
+	}
+	// cplace is a leaf with a value and parent = more's pre.
+	cplace := byPre[3]
+	if rowField(cplace, "name").S != "cplace" || rowField(cplace, "value").S != "X" {
+		t.Fatalf("cplace row mangled: %s", cplace)
+	}
+	if rowField(cplace, "parent").I != 2 {
+		t.Fatalf("cplace parent should be more's pre (2), got %d", rowField(cplace, "parent").I)
+	}
+	// Descendant containment: cplace is a descendant of work#1.
+	if !(rowField(root0, "pre").I < rowField(cplace, "pre").I &&
+		rowField(cplace, "post").I < rowField(root0, "post").I) {
+		t.Fatalf("pre/post containment violated: work=%s cplace=%s", root0, cplace)
+	}
+	// Non-descendant: work#2 is outside work#1's interval.
+	if rowField(root1, "post").I < rowField(root0, "post").I {
+		t.Fatalf("sibling roots must not nest")
+	}
+	// The tree child shares the original subtree.
+	tree := root0.Child("tree")
+	if tree == nil || len(tree.Kids) != 1 || tree.Kids[0].Child("title") == nil {
+		t.Fatalf("tree child should wrap the original subtree")
+	}
+}
+
+func TestFnodesAcceptsCompiledFilters(t *testing.T) {
+	iface := capability.NewInterface("src")
+	Export(iface, []string{"works"})
+	cases := []string{
+		`node[ name: "title", tree: $t ]`,
+		`node[ parent: -1, name: "work", tree: $w ]`,
+		`node[ pre: $p, post: $q, parent: $r, name: $n, pos: $k, value: $v, tree: $t ]`,
+		`node[ name: "work", pos: 2, tree: $w ]`,
+	}
+	for _, src := range cases {
+		f, err := filter.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", src, err)
+		}
+		if err := iface.AcceptsFilter("works.nodes", f); err != nil {
+			t.Fatalf("Fnodes rejected %s: %v", src, err)
+		}
+	}
+	// Navigation below tree is not pushable (fields are atomic; tree is a
+	// single opaque Any position, its one item slot consumed by the subtree).
+	bad, err := filter.Parse(`node[ name: $n, value[ a: $x, b: $y ] ]`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := iface.AcceptsFilter("works.nodes", bad); err == nil {
+		t.Fatalf("navigation below an atomic field should be rejected")
+	}
+	// Scoped operations: join is declared for the node table only.
+	if !iface.CoversOperation("join", []string{"works.nodes"}) {
+		t.Fatalf("join should cover the node table")
+	}
+	if iface.CoversOperation("join", []string{"works"}) {
+		t.Fatalf("join must not leak to the base document")
+	}
+}
+
+func TestEvalDescendantRangeJoin(t *testing.T) {
+	// doc("works")//title as the wrapper would receive it: two binds over the
+	// node table joined on interval containment.
+	workF, err := filter.Parse(`node[ parent: -1, name: "work", pre: $wp, post: $wq ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titleF, err := filter.Parse(`node[ name: "title", pre: $tp, post: $tq, tree: $t ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &algebra.Join{
+		L: &algebra.Bind{Doc: "works.nodes", F: workF},
+		R: &algebra.Bind{Doc: "works.nodes", F: titleF},
+		Pred: algebra.And{
+			L: algebra.Cmp{Op: algebra.OpLt, L: algebra.Var{Name: "$wp"}, R: algebra.Var{Name: "$tp"}},
+			R: algebra.Cmp{Op: algebra.OpLt, L: algebra.Var{Name: "$tq"}, R: algebra.Var{Name: "$wq"}},
+		},
+	}
+	calls := 0
+	table := func(base string) (data.Forest, error) {
+		if base != "works" {
+			return nil, fmt.Errorf("unexpected base %q", base)
+		}
+		calls++
+		return Build(fixture()), nil
+	}
+	out, err := Eval(plan, nil, table)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("table built %d times; want 1", calls)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("expected 2 title matches, got %d:\n%s", len(out.Rows), out)
+	}
+	ti := -1
+	for i, c := range out.Cols {
+		if c == "$t" {
+			ti = i
+		}
+	}
+	if ti < 0 {
+		t.Fatalf("no $t column in %v", out.Cols)
+	}
+	got := map[string]bool{}
+	for _, r := range out.Rows {
+		for _, n := range r[ti].AsForest() {
+			got[n.TextContent()] = true
+		}
+	}
+	if !got["A"] || !got["B"] {
+		t.Fatalf("expected titles A and B, got %v", got)
+	}
+}
+
+func TestEvalRejectsForeignShapes(t *testing.T) {
+	f, err := filter.Parse(`node[ name: $n ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := func(string) (data.Forest, error) { return nil, nil }
+	// Bind over a non-node document.
+	_, err = Eval(&algebra.Bind{Doc: "works", F: f}, nil, table)
+	if err == nil {
+		t.Fatalf("bind over base document should be rejected")
+	}
+	// Function calls in predicates.
+	_, err = Eval(&algebra.Select{
+		From: &algebra.Bind{Doc: "works.nodes", F: f},
+		Pred: algebra.Call{Name: "contains", Args: []algebra.Expr{algebra.Var{Name: "$n"}}},
+	}, nil, table)
+	if err == nil {
+		t.Fatalf("call predicates should be rejected")
+	}
+	// Unsupported operators.
+	_, err = Eval(&algebra.Distinct{From: &algebra.Bind{Doc: "works.nodes", F: f}}, nil, table)
+	if err == nil {
+		t.Fatalf("distinct should be rejected")
+	}
+}
+
+func TestCache(t *testing.T) {
+	var c Cache
+	calls := 0
+	fetch := func(string) (data.Forest, error) {
+		calls++
+		return fixture(), nil
+	}
+	a, err := c.Get("works", fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get("works", fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("fetch called %d times; want 1", calls)
+	}
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("cached tables wrong size")
+	}
+	c.Invalidate("works")
+	if _, err := c.Get("works", fetch); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("invalidate should force a rebuild")
+	}
+}

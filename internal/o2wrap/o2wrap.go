@@ -14,6 +14,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/capability"
 	"repro/internal/data"
+	"repro/internal/nodetab"
 	"repro/internal/o2"
 	"repro/internal/pattern"
 	"repro/internal/tab"
@@ -29,6 +30,8 @@ type Wrapper struct {
 	// read it only after the pushes of interest have completed.
 	LastOQL string
 	lastMu  sync.Mutex
+	// nodes caches the pre/post-order node tables of the extents.
+	nodes nodetab.Cache
 }
 
 // setLastOQL records the most recent pushed query under its lock.
@@ -46,8 +49,18 @@ func New(name string, db *o2.DB) *Wrapper {
 // Name implements algebra.Source.
 func (w *Wrapper) Name() string { return w.SourceNme }
 
-// Documents implements algebra.Source: one document per extent.
+// Documents implements algebra.Source: one document per extent, plus the
+// pre/post-order node table of each (PR 7: pushable XPath axes).
 func (w *Wrapper) Documents() []string {
+	out := w.extentDocuments()
+	for _, d := range w.extentDocuments() {
+		out = append(out, nodetab.Doc(d))
+	}
+	return out
+}
+
+// extentDocuments lists the base extent documents only.
+func (w *Wrapper) extentDocuments() []string {
 	var out []string
 	for _, cn := range w.DB.Schema.Order {
 		out = append(out, w.DB.Schema.Classes[cn].Extent)
@@ -159,6 +172,9 @@ func (w *Wrapper) ExportVal(v o2.Val) *data.Node {
 // followed by the transitive closure of referenced objects (so that the
 // mediator can resolve references while navigating).
 func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
+	if nodetab.IsNodes(doc) {
+		return w.nodeTable(nodetab.Base(doc))
+	}
 	cls := w.DB.Schema.ClassByExtent(doc)
 	if cls == nil {
 		return nil, fmt.Errorf("o2wrap: unknown extent %q", doc)
@@ -185,6 +201,16 @@ func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
 		})
 	}
 	return forest, nil
+}
+
+// nodeTable returns the cached node table of an extent document.
+func (w *Wrapper) nodeTable(base string) (data.Forest, error) {
+	return w.nodes.Get(base, func(b string) (data.Forest, error) {
+		if w.DB.Schema.ClassByExtent(b) == nil {
+			return nil, fmt.Errorf("o2wrap: unknown extent %q", b)
+		}
+		return w.Fetch(b)
+	})
 }
 
 func collectRefs(v o2.Val, fn func(string)) {
@@ -258,6 +284,11 @@ func (w *Wrapper) ExportInterface() *capability.Interface {
 		i.Structures[w.DB.Schema.Classes[cn].Extent] =
 			capability.StructureRef{Model: schema, Pattern: cn}
 	}
+	// The OQL-backed operations are scoped to the extent documents: a join
+	// the database evaluates natively ranges over extents, not over the
+	// synthetic node tables below (those have their own scoped entries), and
+	// a single declaration never covers a mix of the two families.
+	extents := w.extentDocuments()
 	i.Operations = append(i.Operations,
 		capability.Operation{Name: "bind", Kind: "algebra",
 			Inputs: []capability.Sig{
@@ -265,18 +296,20 @@ func (w *Wrapper) ExportInterface() *capability.Interface {
 				{Model: "o2fmodel", Pattern: "Ftype", IsFilter: true},
 			},
 			Output: &capability.Sig{Model: "yat", Pattern: "Tab"}},
-		capability.Operation{Name: "select", Kind: "algebra"},
-		capability.Operation{Name: "project", Kind: "algebra"},
-		capability.Operation{Name: "join", Kind: "algebra"},
-		capability.Operation{Name: "djoin", Kind: "algebra"},
-		capability.Operation{Name: "map", Kind: "algebra"},
-		capability.Operation{Name: "eq", Kind: "boolean"},
-		capability.Operation{Name: "neq", Kind: "boolean"},
-		capability.Operation{Name: "lt", Kind: "boolean"},
-		capability.Operation{Name: "leq", Kind: "boolean"},
-		capability.Operation{Name: "gt", Kind: "boolean"},
-		capability.Operation{Name: "geq", Kind: "boolean"},
+		capability.Operation{Name: "select", Kind: "algebra", Docs: extents},
+		capability.Operation{Name: "project", Kind: "algebra", Docs: extents},
+		capability.Operation{Name: "join", Kind: "algebra", Docs: extents},
+		capability.Operation{Name: "djoin", Kind: "algebra", Docs: extents},
+		capability.Operation{Name: "map", Kind: "algebra", Docs: extents},
+		capability.Operation{Name: "eq", Kind: "boolean", Docs: extents},
+		capability.Operation{Name: "neq", Kind: "boolean", Docs: extents},
+		capability.Operation{Name: "lt", Kind: "boolean", Docs: extents},
+		capability.Operation{Name: "leq", Kind: "boolean", Docs: extents},
+		capability.Operation{Name: "gt", Kind: "boolean", Docs: extents},
+		capability.Operation{Name: "geq", Kind: "boolean", Docs: extents},
 	)
+	// Node tables: pushable XPath-axis predicates over pre/post numbering.
+	nodetab.Export(i, extents)
 	for _, cn := range w.DB.Schema.Order {
 		c := w.DB.Schema.Classes[cn]
 		for mn, m := range c.Methods {

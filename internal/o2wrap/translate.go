@@ -7,6 +7,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/data"
 	"repro/internal/filter"
+	"repro/internal/nodetab"
 	"repro/internal/o2"
 	"repro/internal/tab"
 )
@@ -19,6 +20,12 @@ import (
 // passing" of Section 5.3, where a DJoin feeds left-hand bindings into the
 // query pushed to O₂.
 func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	if nodetab.TouchesPlan(plan) {
+		// Node-table plans bypass OQL: they evaluate against the cached
+		// pre/post numbering of the extent (axis predicates are ordinary
+		// comparisons there, including the range joins of descendant steps).
+		return nodetab.Eval(plan, params, w.nodeTable)
+	}
 	tr := &translator{w: w, params: params, varInfo: map[string]varBinding{}}
 	if err := tr.build(plan); err != nil {
 		return nil, err

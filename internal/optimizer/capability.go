@@ -47,18 +47,37 @@ func (o *Optimizer) mergeSourceJoins(op algebra.Op) algebra.Op {
 		return op
 	}
 	iface := o.opts.Interfaces[l.Source]
-	if iface == nil || !iface.HasOperation("join") {
+	// A single declared join entry must cover every document the merged plan
+	// touches: a source may join its extents and, separately, its node
+	// tables, without claiming it can join across the two families.
+	docs := bindDocsUnder(&algebra.Join{L: l.Plan, R: r.Plan})
+	if iface == nil || !iface.CoversOperation("join", docs) {
 		return op
 	}
 	bound := colSet(append(l.Columns(), r.Columns()...))
 	for _, c := range algebra.SplitConj(j.Pred) {
-		if !o.predAcceptable(iface, c, bound) {
+		if !o.predAcceptable(iface, c, bound, docs) {
 			return op
 		}
 	}
 	o.trace("merged same-source join at %s", l.Source)
 	return &algebra.SourceQuery{Source: l.Source,
 		Plan: &algebra.Join{L: l.Plan, R: r.Plan, Pred: j.Pred}}
+}
+
+// bindDocsUnder returns the distinct documents bound anywhere in a (pushed)
+// plan, the document set capability scoping is checked against.
+func bindDocsUnder(op algebra.Op) []string {
+	seen := map[string]bool{}
+	var docs []string
+	algebra.Walk(op, func(n algebra.Op) bool {
+		if b, ok := n.(*algebra.Bind); ok && b.Doc != "" && !seen[b.Doc] {
+			seen[b.Doc] = true
+			docs = append(docs, b.Doc)
+		}
+		return true
+	})
+	return docs
 }
 
 func (o *Optimizer) ifaceFor(doc string) *capability.Interface {
@@ -259,12 +278,13 @@ chain:
 		}
 	}
 	iface := o.ifaceFor(bind.Doc)
-	if iface == nil || !iface.HasOperation("bind") {
+	if iface == nil || !iface.HasOperationFor("bind", bind.Doc) {
 		return nil, false
 	}
 	if err := iface.AcceptsFilter(bind.Doc, bind.F); err != nil {
 		return nil, false
 	}
+	docs := []string{bind.Doc}
 	boundVars := colSet(bind.F.Vars())
 	// Rebuild the chain bottom-up, pushing what the interface accepts.
 	var build func(op algebra.Op) (pushed algebra.Op, residual []func(algebra.Op) algebra.Op)
@@ -275,7 +295,7 @@ chain:
 			return x, nil
 		case *algebra.Project:
 			inner, res := build(x.From)
-			if iface.HasOperation("project") && len(res) == 0 {
+			if iface.CoversOperation("project", docs) && len(res) == 0 {
 				return &algebra.Project{From: inner, Cols: x.Cols}, nil
 			}
 			cols := x.Cols
@@ -287,7 +307,7 @@ chain:
 			inner, res := build(x.From)
 			var push, keep []algebra.Expr
 			for _, c := range algebra.SplitConj(x.Pred) {
-				if iface.HasOperation("select") && o.predAcceptable(iface, c, boundVars) && len(res) == 0 {
+				if iface.CoversOperation("select", docs) && o.predAcceptable(iface, c, boundVars, docs) && len(res) == 0 {
 					push = append(push, c)
 				} else {
 					keep = append(keep, c)
@@ -316,54 +336,55 @@ chain:
 	return sq, true
 }
 
-// predAcceptable reports whether a conjunct can be evaluated by the source:
-// comparisons need the corresponding declared boolean operation, calls the
-// declared external/method operation; every variable must be bound by the
-// pushed Bind or arrive as a DJoin parameter (free in this plan).
-func (o *Optimizer) predAcceptable(iface *capability.Interface, e algebra.Expr, bound map[string]bool) bool {
+// predAcceptable reports whether a conjunct can be evaluated by the source
+// for the documents the pushed plan touches: comparisons need the
+// corresponding declared boolean operation covering docs, calls the declared
+// external/method operation; every variable must be bound by the pushed Bind
+// or arrive as a DJoin parameter (free in this plan).
+func (o *Optimizer) predAcceptable(iface *capability.Interface, e algebra.Expr, bound map[string]bool, docs []string) bool {
 	switch x := e.(type) {
 	case algebra.Cmp:
-		if !iface.HasOperation(boolOpNames[x.Op]) {
+		if !iface.CoversOperation(boolOpNames[x.Op], docs) {
 			return false
 		}
-		return o.operandAcceptable(iface, x.L, bound) && o.operandAcceptable(iface, x.R, bound)
+		return o.operandAcceptable(iface, x.L, bound, docs) && o.operandAcceptable(iface, x.R, bound, docs)
 	case algebra.Call:
-		op := iface.Operation(x.Name)
+		op := iface.OperationFor(x.Name, docs)
 		if op == nil || (op.Kind != "external" && op.Kind != "method") {
 			return false
 		}
 		for _, a := range x.Args {
-			if !o.operandAcceptable(iface, a, bound) {
+			if !o.operandAcceptable(iface, a, bound, docs) {
 				return false
 			}
 		}
 		return true
 	case algebra.And:
-		return o.predAcceptable(iface, x.L, bound) && o.predAcceptable(iface, x.R, bound)
+		return o.predAcceptable(iface, x.L, bound, docs) && o.predAcceptable(iface, x.R, bound, docs)
 	case algebra.Or:
-		return o.predAcceptable(iface, x.L, bound) && o.predAcceptable(iface, x.R, bound)
+		return o.predAcceptable(iface, x.L, bound, docs) && o.predAcceptable(iface, x.R, bound, docs)
 	case algebra.Not:
-		return o.predAcceptable(iface, x.E, bound)
+		return o.predAcceptable(iface, x.E, bound, docs)
 	default:
 		return false
 	}
 }
 
-func (o *Optimizer) operandAcceptable(iface *capability.Interface, e algebra.Expr, bound map[string]bool) bool {
+func (o *Optimizer) operandAcceptable(iface *capability.Interface, e algebra.Expr, bound map[string]bool, docs []string) bool {
 	switch x := e.(type) {
 	case algebra.Var:
 		return true // bound vars evaluate at the source; free vars arrive as parameters
 	case algebra.Const:
 		return true
 	case algebra.Arith:
-		return o.operandAcceptable(iface, x.L, bound) && o.operandAcceptable(iface, x.R, bound)
+		return o.operandAcceptable(iface, x.L, bound, docs) && o.operandAcceptable(iface, x.R, bound, docs)
 	case algebra.Call:
-		op := iface.Operation(x.Name)
+		op := iface.OperationFor(x.Name, docs)
 		if op == nil || (op.Kind != "external" && op.Kind != "method") {
 			return false
 		}
 		for _, a := range x.Args {
-			if !o.operandAcceptable(iface, a, bound) {
+			if !o.operandAcceptable(iface, a, bound, docs) {
 				return false
 			}
 		}
@@ -400,7 +421,8 @@ func (o *Optimizer) round3(op algebra.Op) algebra.Op {
 		}
 	}
 	iface := o.opts.Interfaces[sq.Source]
-	if iface == nil || !iface.HasOperation("select") {
+	sqDocs := bindDocsUnder(sq.Plan)
+	if iface == nil || !iface.CoversOperation("select", sqDocs) {
 		return op
 	}
 	lcols := colSet(j.L.Columns())
@@ -408,7 +430,7 @@ func (o *Optimizer) round3(op algebra.Op) algebra.Op {
 	var inject, rest []algebra.Expr
 	for _, c := range algebra.SplitConj(j.Pred) {
 		a, b, ok := algebra.EqColumns(c)
-		if ok && iface.HasOperation("eq") &&
+		if ok && iface.CoversOperation("eq", sqDocs) &&
 			((lcols[a] && rcols[b]) || (lcols[b] && rcols[a])) {
 			inject = append(inject, c)
 		} else {

@@ -205,6 +205,18 @@ func (p *parser) pattern() (*P, error) {
 	switch t.kind {
 	case tString:
 		p.i++
+		// A quoted name followed by '[' or ':' is a node label: XML names
+		// may contain characters outside the identifier alphabet or collide
+		// with reserved words, and String() quotes them (cf. writeLabel).
+		// Quoted labels never carry reserved meaning — no Symbol wildcard,
+		// no collection kind.
+		if p.isPunct("[") || p.isPunct(":") {
+			node := &P{Kind: KNode, Label: t.text}
+			if err := p.nodeSuffix(node); err != nil {
+				return nil, err
+			}
+			return node, nil
+		}
 		return Const(data.String(t.text)), nil
 	case tNumber:
 		p.i++
@@ -276,33 +288,40 @@ func (p *parser) pattern() (*P, error) {
 			node.Label, node.AnyLabel = "", true
 		}
 		node.Col = ColFromString(t.text)
-		switch {
-		case p.isPunct("["):
-			p.i++
-			items, err := p.items()
-			if err != nil {
-				return nil, err
-			}
-			node.Items = items
-			if err := p.expect("]"); err != nil {
-				return nil, err
-			}
-		case p.isPunct(":"):
-			// Guard against consuming a following ":=" definition head.
-			if p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "=" {
-				break
-			}
-			p.i++
-			kid, err := p.pattern()
-			if err != nil {
-				return nil, err
-			}
-			node.Items = []Item{{P: kid}}
+		if err := p.nodeSuffix(node); err != nil {
+			return nil, err
 		}
 		return node, nil
 	default:
 		return nil, fmt.Errorf("pattern: unexpected end of input")
 	}
+}
+
+// nodeSuffix parses a node's child sequence: `[ items ]`, the `label: p`
+// scalar abbreviation, or nothing (a leaf node). A following ":=" definition
+// head is left untouched.
+func (p *parser) nodeSuffix(node *P) error {
+	switch {
+	case p.isPunct("["):
+		p.i++
+		items, err := p.items()
+		if err != nil {
+			return err
+		}
+		node.Items = items
+		return p.expect("]")
+	case p.isPunct(":"):
+		if p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "=" {
+			return nil
+		}
+		p.i++
+		kid, err := p.pattern()
+		if err != nil {
+			return err
+		}
+		node.Items = []Item{{P: kid}}
+	}
+	return nil
 }
 
 func (p *parser) items() ([]Item, error) {

@@ -605,7 +605,7 @@ func (p *P) write(b *strings.Builder) {
 		if p.AnyLabel {
 			b.WriteString("Symbol")
 		} else {
-			b.WriteString(p.Label)
+			writeLabel(b, p.Label, p.Col)
 		}
 		if len(p.Items) == 0 {
 			b.WriteString("[]")
@@ -628,6 +628,44 @@ func (p *P) write(b *strings.Builder) {
 		}
 		b.WriteString(" ]")
 	}
+}
+
+// writeLabel writes a node label, quoting it whenever the bare spelling
+// would not survive ParsePattern: XML names may contain characters outside
+// the identifier alphabet ('.', ':', any non-ASCII), start with a digit, or
+// collide with a reserved type name, the Symbol wildcard, or a collection
+// keyword whose kind the node does not carry.
+func writeLabel(b *strings.Builder, label string, col Col) {
+	if plainLabel(label, col) {
+		b.WriteString(label)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(label); i++ {
+		if label[i] == '"' || label[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(label[i])
+	}
+	b.WriteByte('"')
+}
+
+// plainLabel reports whether the label lexes back as the same bare name and
+// re-parses to the same node (no reserved meaning, collection kind intact).
+func plainLabel(label string, col Col) bool {
+	if label == "" || !isIdentStart(label[0]) {
+		return false
+	}
+	for i := 1; i < len(label); i++ {
+		if !isIdentChar(label[i]) {
+			return false
+		}
+	}
+	switch label {
+	case "Int", "Float", "Bool", "String", "Any", "Symbol", "true", "false", "model":
+		return false
+	}
+	return ColFromString(label) == col
 }
 
 func isScalar(p *P) bool {

@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/data"
@@ -23,11 +24,13 @@ func (g *patGen) next(n int) int {
 	return int((g.state >> 33) % uint64(n))
 }
 
-// labels deliberately avoids the grammar's reserved words (Int, Float,
-// Bool, String, Any, Symbol, model, true, false) and the collection
-// constructor names (set, bag, list, array), which only round-trip when
-// generated as collections.
-var genLabels = []string{"work", "artist", "title", "style", "price", "entry", "field"}
+// genLabels includes names the printer must quote to survive re-parsing:
+// XML-special characters ('.', ':', non-ASCII), digit-led names, reserved
+// type names and collection constructor names used as plain element labels.
+var genLabels = []string{
+	"work", "artist", "title", "style", "price", "entry", "field",
+	"xs:element", "my.tag", "Int", "Symbol", "set", "1862", "crémerie",
+}
 
 var genRefNames = []string{"RtA", "RtB", "RtC"}
 
@@ -111,6 +114,51 @@ func TestParseStringRoundTrip(t *testing.T) {
 		if q.String() != src {
 			t.Fatalf("#%d: String not stable: %q -> %q", i, src, q.String())
 		}
+	}
+}
+
+// TestLabelRoundTrip pins the quoting rules for node labels that do not
+// lex as plain identifiers or that collide with reserved spellings: XML
+// qualified names, dotted names, digit-led names, names with quotes or
+// backslashes, and reserved words used as element labels. Each must render,
+// re-parse to an identical structure, and render stably.
+func TestLabelRoundTrip(t *testing.T) {
+	labels := []string{
+		"xs:element", "my.tag", "svg.path.d", "1862", "crémerie",
+		"a b", `qu"ote`, `back\slash`, "<angle>", "&amp;",
+		"Int", "Float", "Bool", "String", "Any", "Symbol",
+		"true", "false", "model", "set", "bag", "list", "array",
+	}
+	for _, label := range labels {
+		for _, p := range []*P{
+			Node(label),           // leaf: renders as label[]
+			Node(label, Str()),    // scalar abbreviation: label: String
+			Node(label, Node("work", Int()), Str()), // bracketed sequence
+		} {
+			src := p.String()
+			q, err := ParsePattern(src)
+			if err != nil {
+				t.Fatalf("label %q: ParsePattern(%q) failed: %v", label, src, err)
+			}
+			if q.Kind != KNode || q.Label != label || q.AnyLabel || q.Col != ColNone {
+				t.Fatalf("label %q: re-parsed %q to %#v", label, src, q)
+			}
+			if q.String() != src {
+				t.Fatalf("label %q: String not stable: %q -> %q", label, src, q.String())
+			}
+			if !Subsumes(nil, p, nil, q) || !Subsumes(nil, q, nil, p) {
+				t.Fatalf("label %q: not equivalent after round trip (%s)", label, src)
+			}
+		}
+	}
+	// A collection node keeps its bare spelling and its kind.
+	c := Coll(ColSet, Str())
+	if got := c.String(); !strings.HasPrefix(got, "set[") {
+		t.Fatalf("collection rendering changed: %q", got)
+	}
+	q, err := ParsePattern(c.String())
+	if err != nil || q.Col != ColSet {
+		t.Fatalf("collection round trip: %v, col %v", err, q.Col)
 	}
 }
 

@@ -600,6 +600,9 @@ func (c *checker) checkSourceQuery(sq *algebra.SourceQuery, path string, env map
 			c.report(CodeCapability, path, sq, "no capability interface imported for source %q", sq.Source)
 		}
 	}
+	// The document set the pushed plan touches; scoped capability
+	// declarations must cover all of them with a single entry.
+	docs := pushedDocs(sq.Plan)
 	// Variables bound by Binds inside the pushed plan evaluate at the
 	// source; free variables arrive as DJoin parameters. For scoping inside
 	// the pushed plan the surrounding env therefore still applies — a pushed
@@ -616,9 +619,9 @@ func (c *checker) checkSourceQuery(sq *algebra.SourceQuery, path string, env map
 			if !pushable {
 				c.report(CodeCapability, p, op,
 					"operator %s cannot appear in a pushed plan", opName(op))
-			} else if !iface.HasOperation(opname) {
+			} else if !iface.CoversOperation(opname, docs) {
 				c.report(CodeCapability, p, op,
-					"source %q does not declare operation %q", sq.Source, opname)
+					"source %q does not declare operation %q over %v", sq.Source, opname, docs)
 			}
 			// yat-lint:ignore intentionally partial: per-operator capability detail for the pushable subset only
 			switch x := op.(type) {
@@ -637,14 +640,14 @@ func (c *checker) checkSourceQuery(sq *algebra.SourceQuery, path string, env map
 				}
 			case *algebra.Select:
 				for _, conj := range algebra.SplitConj(x.Pred) {
-					if err := predFeasible(iface, conj); err != nil {
+					if err := predFeasible(iface, conj, docs); err != nil {
 						c.report(CodeCapability, p, op,
 							"source %q cannot evaluate %s: %v", sq.Source, conj, err)
 					}
 				}
 			case *algebra.Join:
 				for _, conj := range algebra.SplitConj(x.Pred) {
-					if err := predFeasible(iface, conj); err != nil {
+					if err := predFeasible(iface, conj, docs); err != nil {
 						c.report(CodeCapability, p, op,
 							"source %q cannot evaluate %s: %v", sq.Source, conj, err)
 					}
@@ -679,41 +682,42 @@ var cmpOperations = map[algebra.CmpOp]string{
 }
 
 // predFeasible reports why a predicate exceeds a source's declared
-// operations (nil when the source can evaluate it).
-func predFeasible(iface *capability.Interface, e algebra.Expr) error {
+// operations for the documents a pushed plan touches (nil when the source
+// can evaluate it).
+func predFeasible(iface *capability.Interface, e algebra.Expr, docs []string) error {
 	switch x := e.(type) {
 	case algebra.Cmp:
 		name, ok := cmpOperations[x.Op]
-		if !ok || !iface.HasOperation(name) {
-			return fmt.Errorf("comparison %q is not declared", x.Op)
+		if !ok || !iface.CoversOperation(name, docs) {
+			return fmt.Errorf("comparison %q is not declared over %v", x.Op, docs)
 		}
-		if err := operandFeasible(iface, x.L); err != nil {
+		if err := operandFeasible(iface, x.L, docs); err != nil {
 			return err
 		}
-		return operandFeasible(iface, x.R)
+		return operandFeasible(iface, x.R, docs)
 	case algebra.Call:
-		op := iface.Operation(x.Name)
+		op := iface.OperationFor(x.Name, docs)
 		if op == nil || (op.Kind != "external" && op.Kind != "method") {
 			return fmt.Errorf("function %s is not declared", x.Name)
 		}
 		for _, a := range x.Args {
-			if err := operandFeasible(iface, a); err != nil {
+			if err := operandFeasible(iface, a, docs); err != nil {
 				return err
 			}
 		}
 		return nil
 	case algebra.And:
-		if err := predFeasible(iface, x.L); err != nil {
+		if err := predFeasible(iface, x.L, docs); err != nil {
 			return err
 		}
-		return predFeasible(iface, x.R)
+		return predFeasible(iface, x.R, docs)
 	case algebra.Or:
-		if err := predFeasible(iface, x.L); err != nil {
+		if err := predFeasible(iface, x.L, docs); err != nil {
 			return err
 		}
-		return predFeasible(iface, x.R)
+		return predFeasible(iface, x.R, docs)
 	case algebra.Not:
-		return predFeasible(iface, x.E)
+		return predFeasible(iface, x.E, docs)
 	case algebra.Const:
 		return nil
 	default:
@@ -721,22 +725,22 @@ func predFeasible(iface *capability.Interface, e algebra.Expr) error {
 	}
 }
 
-func operandFeasible(iface *capability.Interface, e algebra.Expr) error {
+func operandFeasible(iface *capability.Interface, e algebra.Expr, docs []string) error {
 	switch x := e.(type) {
 	case algebra.Var, algebra.Const:
 		return nil
 	case algebra.Arith:
-		if err := operandFeasible(iface, x.L); err != nil {
+		if err := operandFeasible(iface, x.L, docs); err != nil {
 			return err
 		}
-		return operandFeasible(iface, x.R)
+		return operandFeasible(iface, x.R, docs)
 	case algebra.Call:
-		op := iface.Operation(x.Name)
+		op := iface.OperationFor(x.Name, docs)
 		if op == nil || (op.Kind != "external" && op.Kind != "method") {
 			return fmt.Errorf("function %s is not declared", x.Name)
 		}
 		for _, a := range x.Args {
-			if err := operandFeasible(iface, a); err != nil {
+			if err := operandFeasible(iface, a, docs); err != nil {
 				return err
 			}
 		}
@@ -744,6 +748,20 @@ func operandFeasible(iface *capability.Interface, e algebra.Expr) error {
 	default:
 		return fmt.Errorf("operand form %T is not pushable", e)
 	}
+}
+
+// pushedDocs returns the distinct documents bound inside a pushed plan.
+func pushedDocs(plan algebra.Op) []string {
+	seen := map[string]bool{}
+	var docs []string
+	algebra.Walk(plan, func(n algebra.Op) bool {
+		if b, ok := n.(*algebra.Bind); ok && b.Doc != "" && !seen[b.Doc] {
+			seen[b.Doc] = true
+			docs = append(docs, b.Doc)
+		}
+		return true
+	})
+	return docs
 }
 
 func colSet(cols []string) map[string]bool {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/capability"
 	"repro/internal/data"
 	"repro/internal/filter"
+	"repro/internal/nodetab"
 	"repro/internal/pattern"
 	"repro/internal/tab"
 	"repro/internal/wais"
@@ -30,6 +31,9 @@ type Wrapper struct {
 	// pushes of interest have completed.
 	LastSearch string
 	lastMu     sync.Mutex
+	// nodes caches the pre/post-order node table of the works document
+	// (rebuilt lazily; the engine is append-only in the experiments).
+	nodes nodetab.Cache
 }
 
 // New returns a wrapper over the engine.
@@ -40,13 +44,17 @@ func New(name string, e *wais.Engine) *Wrapper {
 // Name implements algebra.Source.
 func (w *Wrapper) Name() string { return w.SourceNme }
 
-// Documents implements algebra.Source: the single works document.
-func (w *Wrapper) Documents() []string { return []string{"works"} }
+// Documents implements algebra.Source: the works document and its
+// pre/post-order node table (PR 7: pushable XPath axes).
+func (w *Wrapper) Documents() []string { return []string{"works", nodetab.Doc("works")} }
 
 // Fetch implements algebra.Source: it ships the entire indexed collection
 // (in its retrievable view) under a works root — the costly path the
 // optimizer tries to avoid.
 func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
+	if nodetab.IsNodes(doc) && nodetab.Base(doc) == "works" {
+		return w.nodeTable("works")
+	}
 	if doc != "works" {
 		return nil, fmt.Errorf("waiswrap: unknown document %q", doc)
 	}
@@ -55,6 +63,16 @@ func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
 		root.Add(w.E.Retrieve(i))
 	}
 	return data.Forest{root}, nil
+}
+
+// nodeTable returns the cached node table of a base document.
+func (w *Wrapper) nodeTable(base string) (data.Forest, error) {
+	return w.nodes.Get(base, func(b string) (data.Forest, error) {
+		if b != "works" {
+			return nil, fmt.Errorf("waiswrap: unknown document %q", b)
+		}
+		return w.Fetch(b)
+	})
 }
 
 // ExportStructure returns the Artworks structure of Figure 3: works with
@@ -101,6 +119,8 @@ func (w *Wrapper) ExportInterface() *capability.Interface {
 	i.Equivalences = append(i.Equivalences, capability.Equivalence{
 		Name: "contains-eq", From: "eq", To: "contains", Scope: "work",
 	})
+	// Node table: pushable XPath-axis predicates over pre/post numbering.
+	nodetab.Export(i, []string{"works"})
 	return i
 }
 
@@ -138,6 +158,9 @@ func Contains(args []tab.Cell) (tab.Cell, error) {
 // Fworks filter; selections may only carry contains predicates over the
 // bound document variable (possibly with parameters inlined from a DJoin).
 func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	if nodetab.TouchesPlan(plan) {
+		return nodetab.Eval(plan, params, w.nodeTable)
+	}
 	var docVar string
 	var searches []string
 	var walk func(op algebra.Op) error

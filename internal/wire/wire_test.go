@@ -90,7 +90,8 @@ func TestHelloAndImports(t *testing.T) {
 	if c.Name() != "o2artifact" {
 		t.Errorf("name = %q", c.Name())
 	}
-	if len(c.Documents()) != 2 {
+	// Two extents plus their node tables (PR 7).
+	if len(c.Documents()) != 4 {
 		t.Errorf("docs = %v", c.Documents())
 	}
 	iface, err := c.ImportInterface()

@@ -1,0 +1,186 @@
+// Package xq implements the XPath/XQuery-FLWR front-end of the mediator: a
+// lexer and recursive-descent parser for an XPath subset (child `/`,
+// descendant `//`, attribute `@`, name tests, `[...]` predicates with
+// comparisons and positional filters, reverse axes `parent::`/`ancestor::`)
+// and FLWR expressions
+//
+//	for $v in <path> (, $v2 in <path>)* [where <cond>] return <constructor>
+//
+// producing a typed AST. The companion package xq/compile lowers the AST
+// into the YAT algebra; see DESIGN.md §12 for the axis-encoding scheme.
+package xq
+
+import "repro/internal/data"
+
+// Node is the sealed interface of all AST node types. yat-lint checks that
+// type switches over Node are exhaustive, like switches over algebra.Op.
+type Node interface {
+	isNode()
+}
+
+// Axis enumerates the supported XPath axes.
+type Axis int
+
+// Supported axes. Child is the default; Desc is the `//` shorthand for
+// descendant-or-self::node()/child (we implement the common descendant
+// semantics); Attr addresses the `@name` children of the XML encoding;
+// Parent and Ancestor are the reverse axes.
+const (
+	Child Axis = iota
+	Desc
+	Attr
+	Parent
+	Ancestor
+)
+
+// String returns the axis spelling used in error messages and printing.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case Desc:
+		return "descendant"
+	case Attr:
+		return "attribute"
+	case Parent:
+		return "parent"
+	case Ancestor:
+		return "ancestor"
+	default:
+		return "axis(?)"
+	}
+}
+
+// Query is a full FLWR query. A bare path query parses into a synthesized
+// single-clause Query whose Return splices the bound variable.
+type Query struct {
+	Fors   []*ForClause
+	Where  Node // nil, CmpExpr or LogicExpr
+	Return Node // ElemCons, PathExpr or Literal
+}
+
+// ForClause binds Var to each node selected by Src.
+type ForClause struct {
+	Var string // "$w"
+	Src *PathExpr
+}
+
+// PathExpr is a path: rooted at a document (Doc != ""), at a variable
+// (Var != ""), or relative to the context node (both empty, used inside
+// predicates: `more/cplace = "X"`).
+type PathExpr struct {
+	Doc   string // doc("works") root
+	Var   string // $w root
+	Steps []*Step
+}
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Name  string // name test; "" iff Wild
+	Wild  bool   // `*`
+	Preds []Node // PosPred, CmpExpr or LogicExpr, in syntactic order
+}
+
+// PosPred is a positional predicate [n] (1-based among same-name siblings).
+type PosPred struct {
+	N int
+}
+
+// CmpOp enumerates comparison operators in predicates and where clauses.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the operator spelling.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "op(?)"
+	}
+}
+
+// CmpExpr compares two operands; operands are PathExpr or Literal.
+type CmpExpr struct {
+	Op   CmpOp
+	L, R Node
+}
+
+// LogicKind enumerates boolean connectives.
+type LogicKind int
+
+// Boolean connectives.
+const (
+	LAnd LogicKind = iota
+	LOr
+	LNot
+)
+
+// String returns the connective spelling.
+func (k LogicKind) String() string {
+	switch k {
+	case LAnd:
+		return "and"
+	case LOr:
+		return "or"
+	case LNot:
+		return "not"
+	default:
+		return "logic(?)"
+	}
+}
+
+// LogicExpr combines conditions: and/or have two or more kids, not exactly
+// one.
+type LogicExpr struct {
+	Kind LogicKind
+	Kids []Node
+}
+
+// Literal is an atomic constant: string, integer, float or boolean.
+type Literal struct {
+	Atom data.Atom
+}
+
+// ElemCons constructs an element `<name>...</name>`; kids are ElemCons,
+// TextCons, or embedded expressions (PathExpr, Literal) from `{...}` braces.
+type ElemCons struct {
+	Name string
+	Kids []Node
+}
+
+// TextCons is raw character content inside an element constructor.
+type TextCons struct {
+	S string
+}
+
+func (*Query) isNode()     {}
+func (*ForClause) isNode() {}
+func (*PathExpr) isNode()  {}
+func (*Step) isNode()      {}
+func (*PosPred) isNode()   {}
+func (*CmpExpr) isNode()   {}
+func (*LogicExpr) isNode() {}
+func (*Literal) isNode()   {}
+func (*ElemCons) isNode()  {}
+func (*TextCons) isNode()  {}

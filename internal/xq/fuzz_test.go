@@ -1,0 +1,38 @@
+package xq
+
+import "testing"
+
+// FuzzParseQuery checks two properties over arbitrary input: Parse never
+// panics, and when it succeeds the printed form is a fixpoint — the canonical
+// text reparses, and printing the reparse yields the identical string.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`doc("works")//title`,
+		`doc("d")/a//b/@c/parent::e/ancestor::f/child::g/descendant::h/*`,
+		`doc("d")/work[2][price < 100 and (style = "a" or not(. = "b"))]/title`,
+		`for $w in doc("artworks")/doc/work where $w/more/cplace = "Giverny" return $w/title`,
+		`for $w in doc("artworks")/doc/work where $w/style = "Impressionist" and $w/price < 200000 return <result><title>{$w/title}</title><price>{$w/price}</price></result>`,
+		`for $w in doc("w")/a, $t in $w/b return <r>label{$t}</r>`,
+		`for $w in doc("d")/a where $w/x = "s\"t" or $w/y <= 1.5 return $w`,
+		`$v/x[3]`,
+		`for $w in doc("d")/a return 42`,
+		`not a query at all`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		p1 := Print(q1)
+		q2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse:\n src = %q\n p1  = %q\n err = %v", src, p1, err)
+		}
+		if p2 := Print(q2); p1 != p2 {
+			t.Fatalf("print is not a fixpoint:\n src = %q\n p1  = %q\n p2  = %q", src, p1, p2)
+		}
+	})
+}

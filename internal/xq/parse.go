@@ -1,0 +1,711 @@
+package xq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Parse parses an XQuery-FLWR query or a bare path expression. A bare path
+// `doc("works")//title` is sugar for
+//
+//	for $x in doc("works")//title return $x
+//
+// and parses into the synthesized single-clause Query.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if !p.eof() {
+		return nil, p.errf("unexpected input after query: %q", p.rest(12))
+	}
+	return q, nil
+}
+
+// parser is a hand-rolled scanner/parser over the source text. Scanning is
+// context-driven rather than token-stream based so that element constructors
+// can switch to raw-text mode and `<` can mean both "less than" and "open
+// tag" depending on position.
+type parser struct {
+	src string
+	pos int
+}
+
+// ---------------------------------------------------------------------------
+// Scanner helpers
+// ---------------------------------------------------------------------------
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest(n int) string {
+	r := p.src[p.pos:]
+	if len(r) > n {
+		r = r[:n] + "…"
+	}
+	return r
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("xq: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+// ws skips whitespace.
+func (p *parser) ws() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// lit consumes the literal s if it is next (after whitespace).
+func (p *parser) lit(s string) bool {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// peekLit reports whether s is next without consuming it.
+func (p *parser) peekLit(s string) bool {
+	p.ws()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || (c >= '0' && c <= '9')
+}
+
+// name scans an XML name; empty when none is next.
+func (p *parser) name() string {
+	p.ws()
+	start := p.pos
+	if p.eof() || !isNameStart(p.src[p.pos]) {
+		return ""
+	}
+	for !p.eof() && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// keyword consumes kw only when it is next as a whole word.
+func (p *parser) keyword(kw string) bool {
+	p.ws()
+	save := p.pos
+	if n := p.name(); n == kw {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+// peekKeyword reports whether kw is next as a whole word.
+func (p *parser) peekKeyword(kw string) bool {
+	save := p.pos
+	ok := p.keyword(kw)
+	p.pos = save
+	return ok
+}
+
+// variable scans `$name`; empty when none is next.
+func (p *parser) variable() string {
+	p.ws()
+	save := p.pos
+	if p.eof() || p.src[p.pos] != '$' {
+		return ""
+	}
+	p.pos++
+	n := ""
+	for !p.eof() && isNameChar(p.src[p.pos]) {
+		p.pos++
+		n = p.src[save+1 : p.pos]
+	}
+	if n == "" {
+		p.pos = save
+		return ""
+	}
+	return "$" + n
+}
+
+// stringLit scans a quoted string ('...' or "..."); backslash escapes the
+// next character (only `\` and the quote need escaping; everything else is
+// preserved verbatim).
+func (p *parser) stringLit() (string, bool, error) {
+	p.ws()
+	if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", false, nil
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", false, p.errf("unterminated string literal")
+		}
+		c := p.src[p.pos]
+		p.pos++
+		switch c {
+		case quote:
+			return b.String(), true, nil
+		case '\\':
+			if p.eof() {
+				return "", false, p.errf("unterminated escape")
+			}
+			b.WriteByte(p.src[p.pos])
+			p.pos++
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// number scans an optionally negative integer or decimal literal.
+func (p *parser) number() (*data.Atom, error) {
+	p.ws()
+	save := p.pos
+	if !p.eof() && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	start := p.pos
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		p.pos = save
+		return nil, nil
+	}
+	isFloat := false
+	if !p.eof() && p.src[p.pos] == '.' && p.pos+1 < len(p.src) &&
+		p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+		isFloat = true
+		p.pos++
+		for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	text := p.src[save:p.pos]
+	if !isFloat {
+		if v, err := strconv.ParseInt(text, 10, 64); err == nil {
+			a := data.Int(v)
+			return &a, nil
+		}
+		// Fall through to float for magnitudes beyond int64.
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return nil, p.errf("bad number %q", text)
+	}
+	a := data.Float(v)
+	return &a, nil
+}
+
+// ---------------------------------------------------------------------------
+// Grammar
+// ---------------------------------------------------------------------------
+
+// query parses a FLWR expression or a bare path.
+func (p *parser) query() (*Query, error) {
+	p.ws()
+	if p.peekKeyword("for") {
+		return p.flwr()
+	}
+	// Bare path sugar.
+	path, err := p.rootedPath()
+	if err != nil {
+		return nil, err
+	}
+	if path == nil {
+		return nil, p.errf("expected 'for' or a rooted path, got %q", p.rest(12))
+	}
+	v := "$x"
+	return &Query{
+		Fors:   []*ForClause{{Var: v, Src: path}},
+		Return: &PathExpr{Var: v},
+	}, nil
+}
+
+// flwr parses `for $v in path (, $v in path)* [where cond] return cons`.
+func (p *parser) flwr() (*Query, error) {
+	if !p.keyword("for") {
+		return nil, p.errf("expected 'for'")
+	}
+	q := &Query{}
+	for {
+		v := p.variable()
+		if v == "" {
+			return nil, p.errf("expected variable after 'for'")
+		}
+		if !p.keyword("in") {
+			return nil, p.errf("expected 'in' after %s", v)
+		}
+		src, err := p.rootedPath()
+		if err != nil {
+			return nil, err
+		}
+		if src == nil {
+			return nil, p.errf("expected a path after 'in'")
+		}
+		q.Fors = append(q.Fors, &ForClause{Var: v, Src: src})
+		if !p.lit(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		cond, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = cond
+	}
+	if !p.keyword("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	ret, err := p.constructor()
+	if err != nil {
+		return nil, err
+	}
+	q.Return = ret
+	return q, nil
+}
+
+// rootedPath parses `doc("name") steps` or `$v steps`; nil when neither is
+// next.
+func (p *parser) rootedPath() (*PathExpr, error) {
+	p.ws()
+	save := p.pos
+	if p.keyword("doc") {
+		if !p.lit("(") {
+			p.pos = save
+			return nil, nil
+		}
+		doc, ok, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || doc == "" {
+			return nil, p.errf("expected non-empty document name string in doc(...)")
+		}
+		if !p.lit(")") {
+			return nil, p.errf("expected ')' after doc(%q", doc)
+		}
+		steps, err := p.steps(false)
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Doc: doc, Steps: steps}, nil
+	}
+	if v := p.variable(); v != "" {
+		steps, err := p.steps(false)
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Var: v, Steps: steps}, nil
+	}
+	return nil, nil
+}
+
+// steps parses a possibly empty sequence of `/step`, `//step`. With rel
+// true, the first step may appear without a leading slash (relative paths in
+// predicates).
+func (p *parser) steps(rel bool) ([]*Step, error) {
+	var out []*Step
+	for {
+		p.ws()
+		var axis Axis
+		switch {
+		case p.lit("//"):
+			axis = Desc
+		case p.lit("/"):
+			axis = Child
+		case rel && len(out) == 0:
+			// Relative first step with no separator.
+			axis = Child
+		default:
+			return out, nil
+		}
+		st, err := p.step(axis)
+		if err != nil {
+			return nil, err
+		}
+		if st == nil {
+			if rel && len(out) == 0 && axis == Child {
+				return nil, nil // not a path at all
+			}
+			return nil, p.errf("expected a step after '/'")
+		}
+		out = append(out, st)
+	}
+}
+
+// step parses one location step: optional axis prefix, name test or `*`,
+// then predicates. The separator-implied axis (Child or Desc) combines with
+// an explicit prefix by letting the prefix win (XPath spells reverse axes
+// `/parent::x`; `//parent::x` is rejected).
+func (p *parser) step(sepAxis Axis) (*Step, error) {
+	p.ws()
+	axis := sepAxis
+	explicit := false
+	switch {
+	case p.lit("@"):
+		axis, explicit = Attr, true
+	default:
+		for _, ax := range []struct {
+			kw string
+			a  Axis
+		}{{"parent", Parent}, {"ancestor", Ancestor}, {"child", Child},
+			{"descendant", Desc}, {"attribute", Attr}} {
+			save := p.pos
+			if p.keyword(ax.kw) {
+				if p.lit("::") {
+					axis, explicit = ax.a, true
+					break
+				}
+				p.pos = save
+			}
+		}
+	}
+	if explicit && sepAxis == Desc {
+		return nil, p.errf("'//' cannot combine with an explicit axis")
+	}
+	st := &Step{Axis: axis}
+	p.ws()
+	if p.lit("*") {
+		st.Wild = true
+	} else {
+		n := p.name()
+		if n == "" {
+			if explicit {
+				return nil, p.errf("expected a name test after axis %s::", axis)
+			}
+			return nil, nil
+		}
+		st.Name = n
+	}
+	if st.Axis == Attr {
+		if st.Wild {
+			return nil, p.errf("attribute wildcards are not supported")
+		}
+	}
+	for p.lit("[") {
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit("]") {
+			return nil, p.errf("expected ']' after predicate")
+		}
+		st.Preds = append(st.Preds, pred)
+	}
+	return st, nil
+}
+
+// predicate parses the inside of `[...]`: a positional integer or a boolean
+// condition.
+func (p *parser) predicate() (Node, error) {
+	p.ws()
+	save := p.pos
+	if a, err := p.number(); err != nil {
+		return nil, err
+	} else if a != nil {
+		p.ws()
+		if p.peekLit("]") {
+			if a.Kind != data.KindInt || a.I < 1 {
+				return nil, p.errf("positional predicate must be a positive integer")
+			}
+			return &PosPred{N: int(a.I)}, nil
+		}
+		p.pos = save // `[2 < price]` style: re-parse as condition
+	}
+	return p.orExpr()
+}
+
+// orExpr := andExpr ('or' andExpr)*
+func (p *parser) orExpr() (Node, error) {
+	first, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for p.keyword("or") {
+		next, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &LogicExpr{Kind: LOr, Kids: kids}, nil
+}
+
+// andExpr := unary ('and' unary)*
+func (p *parser) andExpr() (Node, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for p.keyword("and") {
+		next, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &LogicExpr{Kind: LAnd, Kids: kids}, nil
+}
+
+// unary := 'not' '(' orExpr ')' | '(' orExpr ')' | cmp
+func (p *parser) unary() (Node, error) {
+	p.ws()
+	save := p.pos
+	if p.keyword("not") {
+		if p.lit("(") {
+			inner, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.lit(")") {
+				return nil, p.errf("expected ')' after not(...)")
+			}
+			return &LogicExpr{Kind: LNot, Kids: []Node{inner}}, nil
+		}
+		p.pos = save
+	}
+	if p.lit("(") {
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return inner, nil
+	}
+	return p.cmp()
+}
+
+// cmp := operand CMPOP operand
+func (p *parser) cmp() (Node, error) {
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	var op CmpOp
+	switch {
+	case p.lit("!="):
+		op = OpNe
+	case p.lit("<="):
+		op = OpLe
+	case p.lit(">="):
+		op = OpGe
+	case p.lit("="):
+		op = OpEq
+	case p.lit("<"):
+		op = OpLt
+	case p.lit(">"):
+		op = OpGt
+	default:
+		return nil, p.errf("expected a comparison operator, got %q", p.rest(12))
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Op: op, L: l, R: r}, nil
+}
+
+// operand := literal | $v steps | '.' steps | relative-path
+func (p *parser) operand() (Node, error) {
+	p.ws()
+	// Boolean literals.
+	save := p.pos
+	for _, b := range []struct {
+		kw string
+		v  bool
+	}{{"true", true}, {"false", false}} {
+		if p.keyword(b.kw) {
+			if p.lit("(") && p.lit(")") {
+				return &Literal{Atom: data.Bool(b.v)}, nil
+			}
+			p.pos = save
+		}
+	}
+	if s, ok, err := p.stringLit(); err != nil {
+		return nil, err
+	} else if ok {
+		return &Literal{Atom: data.String(s)}, nil
+	}
+	if a, err := p.number(); err != nil {
+		return nil, err
+	} else if a != nil {
+		return &Literal{Atom: *a}, nil
+	}
+	if v := p.variable(); v != "" {
+		steps, err := p.steps(false)
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Var: v, Steps: steps}, nil
+	}
+	if p.lit(".") {
+		steps, err := p.steps(false)
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Steps: steps}, nil
+	}
+	steps, err := p.steps(true)
+	if err != nil {
+		return nil, err
+	}
+	if steps == nil {
+		return nil, p.errf("expected an operand, got %q", p.rest(12))
+	}
+	return &PathExpr{Steps: steps}, nil
+}
+
+// constructor parses the return clause: an element constructor, a path, or
+// a literal.
+func (p *parser) constructor() (Node, error) {
+	p.ws()
+	if p.peekLit("<") {
+		return p.element()
+	}
+	if path, err := p.rootedPath(); err != nil {
+		return nil, err
+	} else if path != nil {
+		return path, nil
+	}
+	if s, ok, err := p.stringLit(); err != nil {
+		return nil, err
+	} else if ok {
+		return &Literal{Atom: data.String(s)}, nil
+	}
+	if a, err := p.number(); err != nil {
+		return nil, err
+	} else if a != nil {
+		return &Literal{Atom: *a}, nil
+	}
+	return nil, p.errf("expected an element constructor, path or literal after 'return'")
+}
+
+// element parses `<name> content </name>`; content is raw text, nested
+// elements and `{expr}` embeds.
+func (p *parser) element() (Node, error) {
+	if !p.lit("<") {
+		return nil, p.errf("expected '<'")
+	}
+	name := p.name()
+	if name == "" {
+		return nil, p.errf("expected an element name after '<'")
+	}
+	p.ws()
+	if !p.lit(">") {
+		return nil, p.errf("expected '>' after <%s", name)
+	}
+	el := &ElemCons{Name: name}
+	for {
+		// Raw text until the next markup character. Whitespace-only runs
+		// between markup are formatting, not content.
+		start := p.pos
+		for !p.eof() && p.src[p.pos] != '<' && p.src[p.pos] != '{' {
+			p.pos++
+		}
+		if text := p.src[start:p.pos]; strings.TrimSpace(text) != "" {
+			el.Kids = append(el.Kids, &TextCons{S: strings.TrimSpace(text)})
+		}
+		if p.eof() {
+			return nil, p.errf("unterminated element <%s>", name)
+		}
+		if p.src[p.pos] == '{' {
+			p.pos++
+			kid, err := p.embed()
+			if err != nil {
+				return nil, err
+			}
+			if !p.lit("}") {
+				return nil, p.errf("expected '}' after embedded expression")
+			}
+			el.Kids = append(el.Kids, kid)
+			continue
+		}
+		// '<': closing tag or nested element.
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			p.pos += 2
+			end := p.name()
+			if end != name {
+				return nil, p.errf("mismatched closing tag </%s> for <%s>", end, name)
+			}
+			p.ws()
+			if !p.lit(">") {
+				return nil, p.errf("expected '>' after </%s", end)
+			}
+			return el, nil
+		}
+		kid, err := p.element()
+		if err != nil {
+			return nil, err
+		}
+		el.Kids = append(el.Kids, kid)
+	}
+}
+
+// embed parses the expression inside `{...}`: a path or a literal.
+func (p *parser) embed() (Node, error) {
+	p.ws()
+	if path, err := p.rootedPath(); err != nil {
+		return nil, err
+	} else if path != nil {
+		return path, nil
+	}
+	if s, ok, err := p.stringLit(); err != nil {
+		return nil, err
+	} else if ok {
+		return &Literal{Atom: data.String(s)}, nil
+	}
+	if a, err := p.number(); err != nil {
+		return nil, err
+	} else if a != nil {
+		return &Literal{Atom: *a}, nil
+	}
+	return nil, p.errf("expected a path or literal inside {...}")
+}
+
+// IsQuery reports whether src is in this package's query dialect rather
+// than YAT_L: xq queries start with `for`, `doc(` or a variable, while a
+// YAT_L query body always starts with MAKE.
+func IsQuery(src string) bool {
+	p := &parser{src: src}
+	p.ws()
+	if p.eof() {
+		return false
+	}
+	if p.src[p.pos] == '$' || p.src[p.pos] == '.' {
+		return true
+	}
+	save := p.pos
+	kw := p.name()
+	p.pos = save
+	return kw == "for" || kw == "doc"
+}

@@ -1,0 +1,196 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseBarePath(t *testing.T) {
+	q := mustParse(t, `doc("works")//title`)
+	if len(q.Fors) != 1 || q.Where != nil {
+		t.Fatalf("bare path should desugar to one clause: %s", Print(q))
+	}
+	src := q.Fors[0].Src
+	if src.Doc != "works" || len(src.Steps) != 1 {
+		t.Fatalf("path mangled: %s", PrintNode(src))
+	}
+	if src.Steps[0].Axis != Desc || src.Steps[0].Name != "title" {
+		t.Fatalf("step mangled: %+v", src.Steps[0])
+	}
+	ret, ok := q.Return.(*PathExpr)
+	if !ok || ret.Var != q.Fors[0].Var {
+		t.Fatalf("return should splice the bound variable")
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	q := mustParse(t, `doc("d")/a//b/@c/parent::e/ancestor::f/child::g/descendant::h/*`)
+	steps := q.Fors[0].Src.Steps
+	want := []struct {
+		axis Axis
+		name string
+		wild bool
+	}{
+		{Child, "a", false}, {Desc, "b", false}, {Attr, "c", false},
+		{Parent, "e", false}, {Ancestor, "f", false}, {Child, "g", false},
+		{Desc, "h", false}, {Child, "", true},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("got %d steps, want %d: %s", len(steps), len(want), Print(q))
+	}
+	for i, w := range want {
+		if steps[i].Axis != w.axis || steps[i].Name != w.name || steps[i].Wild != w.wild {
+			t.Fatalf("step %d: got %+v, want %+v", i, steps[i], w)
+		}
+	}
+	// @ attributes address the @name children of the XML encoding.
+	if steps[2].Axis != Attr {
+		t.Fatalf("@c should be an attribute step")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q := mustParse(t, `doc("d")/work[2][price < 100 and (style = "a" or not(. = "b"))]/title`)
+	st := q.Fors[0].Src.Steps[0]
+	if len(st.Preds) != 2 {
+		t.Fatalf("want 2 predicates, got %d", len(st.Preds))
+	}
+	if pp, ok := st.Preds[0].(*PosPred); !ok || pp.N != 2 {
+		t.Fatalf("first predicate should be positional [2]: %#v", st.Preds[0])
+	}
+	and, ok := st.Preds[1].(*LogicExpr)
+	if !ok || and.Kind != LAnd || len(and.Kids) != 2 {
+		t.Fatalf("second predicate should be a 2-way and: %s", PrintNode(st.Preds[1]))
+	}
+	cmp, ok := and.Kids[0].(*CmpExpr)
+	if !ok || cmp.Op != OpLt {
+		t.Fatalf("left conjunct should be price < 100")
+	}
+	rel, ok := cmp.L.(*PathExpr)
+	if !ok || rel.Doc != "" || rel.Var != "" || rel.Steps[0].Name != "price" {
+		t.Fatalf("price should parse as a relative path: %#v", cmp.L)
+	}
+	or, ok := and.Kids[1].(*LogicExpr)
+	if !ok || or.Kind != LOr {
+		t.Fatalf("right conjunct should be an or")
+	}
+	if not, ok := or.Kids[1].(*LogicExpr); !ok || not.Kind != LNot {
+		t.Fatalf("or's right kid should be a not(...)")
+	}
+}
+
+func TestParseFLWR(t *testing.T) {
+	q := mustParse(t, `for $w in doc("artworks")/doc/work, $p in doc("persons")/set/class
+		where $w/style = "Impressionist" and $w/price < 200000
+		return <result><title>{$w/title}</title><price>{$w/price}</price></result>`)
+	if len(q.Fors) != 2 {
+		t.Fatalf("want 2 for clauses")
+	}
+	if q.Fors[1].Var != "$p" || q.Fors[1].Src.Doc != "persons" {
+		t.Fatalf("second clause mangled: %s", PrintNode(q.Fors[1]))
+	}
+	and, ok := q.Where.(*LogicExpr)
+	if !ok || and.Kind != LAnd {
+		t.Fatalf("where should be an and")
+	}
+	lhs := and.Kids[0].(*CmpExpr).L.(*PathExpr)
+	if lhs.Var != "$w" || lhs.Steps[0].Name != "style" {
+		t.Fatalf("where lhs mangled: %s", PrintNode(lhs))
+	}
+	el, ok := q.Return.(*ElemCons)
+	if !ok || el.Name != "result" || len(el.Kids) != 2 {
+		t.Fatalf("return constructor mangled: %s", PrintNode(q.Return))
+	}
+	title := el.Kids[0].(*ElemCons)
+	if emb, ok := title.Kids[0].(*PathExpr); !ok || emb.Var != "$w" {
+		t.Fatalf("embed mangled: %s", PrintNode(title))
+	}
+}
+
+func TestParseDependentClauseAndText(t *testing.T) {
+	q := mustParse(t, `for $w in doc("w")/a, $t in $w/b return <r>label{$t}</r>`)
+	if q.Fors[1].Src.Var != "$w" {
+		t.Fatalf("dependent clause should root at $w")
+	}
+	el := q.Return.(*ElemCons)
+	if txt, ok := el.Kids[0].(*TextCons); !ok || txt.S != "label" {
+		t.Fatalf("raw text mangled: %s", PrintNode(el))
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, `for $w in doc("d")/a where $w/x = "s\"t" and $w/y = 1.5 and $w/z = true() and $w/k != -3 return $w`)
+	and := q.Where.(*LogicExpr)
+	atoms := make([]data.Atom, 0, 4)
+	for _, k := range and.Kids {
+		atoms = append(atoms, k.(*CmpExpr).R.(*Literal).Atom)
+	}
+	if atoms[0].S != `s"t` || atoms[1].F != 1.5 || atoms[2].B != true || atoms[3].I != -3 {
+		t.Fatalf("literal atoms mangled: %v", atoms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`for`,
+		`for $w in`,
+		`for $w in doc("d")/a return`,
+		`doc("d")/`,
+		`doc("d"`,
+		`doc("d")//parent::x`,
+		`for $w in doc("d")/a where $w/x return $w`, // existence preds unsupported
+		`for $w in doc("d")/a return <r>{$w}`,       // unterminated element
+		`for $w in doc("d")/a return <r></s>`,       // mismatched tags
+		`doc("d")/a[0]`,                             // positions are 1-based
+		`doc("d")/a trailing`,
+		`doc("d")/@*`,
+	}
+	for _, src := range bad {
+		if q, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail, got %s", src, Print(q))
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		`doc("works")//title`,
+		`doc("d")/a//b/@c/parent::e/ancestor::f`,
+		`doc("d")/work[2][price < 100 and (style = "a" or not(. = "b"))]/title`,
+		`for $w in doc("artworks")/doc/work where $w/more/cplace = "Giverny" return $w/title`,
+		`for $w in doc("artworks")/doc/work where $w/style = "Impressionist" and $w/price < 200000 return <result><title>{$w/title}</title><price>{$w/price}</price></result>`,
+		`for $w in doc("w")/a, $t in $w/b return <r>label{$t}</r>`,
+		`for $w in doc("d")/a where $w/x = "s\"t" or $w/y <= 1.5 return $w`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		p1 := Print(q1)
+		q2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\noriginal: %q", p1, err, src)
+		}
+		p2 := Print(q2)
+		if p1 != p2 {
+			t.Fatalf("print not a fixpoint:\n p1 = %q\n p2 = %q", p1, p2)
+		}
+		// The canonical form stays close to the input modulo whitespace.
+		if strings.Join(strings.Fields(src), " ") != p1 && src != p1 {
+			t.Logf("canonicalized %q -> %q", src, p1)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package xq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Print renders a query in the canonical textual form accepted by Parse.
+// Parse∘Print is the identity on ASTs, and Print∘Parse reaches a fixpoint
+// after one round trip (the fuzz target checks this).
+func Print(q *Query) string {
+	var b strings.Builder
+	writeNode(&b, q)
+	return b.String()
+}
+
+// PrintNode renders any AST node (diagnostics, tests).
+func PrintNode(n Node) string {
+	var b strings.Builder
+	writeNode(&b, n)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case *Query:
+		// A synthesized bare-path query prints back as the bare path.
+		if len(x.Fors) == 1 && x.Where == nil {
+			if ret, ok := x.Return.(*PathExpr); ok &&
+				ret.Var == x.Fors[0].Var && len(ret.Steps) == 0 {
+				writeNode(b, x.Fors[0].Src)
+				return
+			}
+		}
+		b.WriteString("for ")
+		for i, f := range x.Fors {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeNode(b, f)
+		}
+		if x.Where != nil {
+			b.WriteString(" where ")
+			writeNode(b, x.Where)
+		}
+		b.WriteString(" return ")
+		writeNode(b, x.Return)
+	case *ForClause:
+		b.WriteString(x.Var)
+		b.WriteString(" in ")
+		writeNode(b, x.Src)
+	case *PathExpr:
+		head := false
+		switch {
+		case x.Doc != "":
+			b.WriteString("doc(")
+			b.WriteString(quote(x.Doc))
+			b.WriteString(")")
+			head = true
+		case x.Var != "":
+			b.WriteString(x.Var)
+			head = true
+		}
+		if !head && len(x.Steps) == 0 {
+			b.WriteString(".")
+			return
+		}
+		for i, st := range x.Steps {
+			writeStep(b, st, head || i > 0)
+		}
+	case *Step:
+		writeStep(b, x, true)
+	case *PosPred:
+		fmt.Fprintf(b, "[%d]", x.N)
+	case *CmpExpr:
+		writeNode(b, x.L)
+		b.WriteString(" ")
+		b.WriteString(x.Op.String())
+		b.WriteString(" ")
+		writeNode(b, x.R)
+	case *LogicExpr:
+		if x.Kind == LNot {
+			b.WriteString("not(")
+			if len(x.Kids) > 0 {
+				writeNode(b, x.Kids[0])
+			}
+			b.WriteString(")")
+			return
+		}
+		sep := " " + x.Kind.String() + " "
+		for i, k := range x.Kids {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			// Parenthesize nested connectives so precedence survives the
+			// round trip (`(a or b) and c`).
+			if _, nested := k.(*LogicExpr); nested {
+				b.WriteString("(")
+				writeNode(b, k)
+				b.WriteString(")")
+			} else {
+				writeNode(b, k)
+			}
+		}
+	case *Literal:
+		switch x.Atom.Kind {
+		case data.KindString:
+			b.WriteString(quote(x.Atom.S))
+		case data.KindBool:
+			if x.Atom.B {
+				b.WriteString("true()")
+			} else {
+				b.WriteString("false()")
+			}
+		case data.KindFloat:
+			b.WriteString(strconv.FormatFloat(x.Atom.F, 'f', -1, 64))
+		default:
+			b.WriteString(strconv.FormatInt(x.Atom.I, 10))
+		}
+	case *ElemCons:
+		b.WriteString("<")
+		b.WriteString(x.Name)
+		b.WriteString(">")
+		for _, k := range x.Kids {
+			// yat-lint:ignore deliberately partial: anything but nested constructors prints inside {...}
+			switch k.(type) {
+			case *ElemCons, *TextCons:
+				writeNode(b, k)
+			default:
+				b.WriteString("{")
+				writeNode(b, k)
+				b.WriteString("}")
+			}
+		}
+		b.WriteString("</")
+		b.WriteString(x.Name)
+		b.WriteString(">")
+	case *TextCons:
+		b.WriteString(x.S)
+	}
+}
+
+// writeStep renders one step; sep states whether a `/`-family separator must
+// precede it (false only for the first step of a relative path).
+func writeStep(b *strings.Builder, st *Step, sep bool) {
+	switch st.Axis {
+	case Desc:
+		if sep {
+			b.WriteString("//")
+		} else {
+			b.WriteString("descendant::")
+		}
+	case Child:
+		if sep {
+			b.WriteString("/")
+		}
+	case Attr:
+		if sep {
+			b.WriteString("/")
+		}
+		b.WriteString("@")
+	case Parent:
+		if sep {
+			b.WriteString("/")
+		}
+		b.WriteString("parent::")
+	case Ancestor:
+		if sep {
+			b.WriteString("/")
+		}
+		b.WriteString("ancestor::")
+	}
+	if st.Wild {
+		b.WriteString("*")
+	} else {
+		b.WriteString(st.Name)
+	}
+	for _, pr := range st.Preds {
+		if _, ok := pr.(*PosPred); ok {
+			writeNode(b, pr)
+			continue
+		}
+		b.WriteString("[")
+		writeNode(b, pr)
+		b.WriteString("]")
+	}
+}
+
+// quote renders a string literal, escaping only the quote and backslash (the
+// scanner preserves every other byte verbatim, so this is a faithful round
+// trip even for control characters).
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	b.WriteByte('"')
+	return b.String()
+}
