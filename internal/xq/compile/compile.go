@@ -220,7 +220,7 @@ func (c *compiler) forClause(f *xq.ForClause) error {
 		}
 		var err error
 		if base.nb != nil {
-			nb, e := c.nodeSteps(base.nb, p.Steps)
+			nb, e := c.nodeSteps(base.nb, p.Steps, true)
 			a, err = &anchor{nb: nb}, e
 		} else {
 			if needsNodesSteps(p.Steps) {
@@ -270,7 +270,7 @@ func (c *compiler) docNodesClause(p *xq.PathExpr) (*anchor, error) {
 	if c.opt.IsView != nil && c.opt.IsView(p.Doc) {
 		return nil, fmt.Errorf("xq: %q is a view: descendant/reverse axes and positional predicates need the pre/post node numbering only source documents export; query the underlying source directly", p.Doc)
 	}
-	nb, err := c.nodeSteps(nil, p.Steps)
+	nb, err := c.nodeSteps(nil, p.Steps, true)
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +357,12 @@ func (c *compiler) stepPreds(st *xq.Step, at *anchor) error {
 		if pp, ok := pr.(*xq.PosPred); ok {
 			if at.nb == nil {
 				return fmt.Errorf("xq: positional predicate [%d] needs a document-rooted path over a source document (node tables)", pp.N)
+			}
+			if st.Wild {
+				return fmt.Errorf("xq: positional predicate [%d] on a wildcard step is unsupported (the node table's pos counts same-name siblings, not position among all selected nodes)", pp.N)
+			}
+			if at.nb.posConst != nil {
+				return fmt.Errorf("xq: step %s carries more than one positional predicate ([%d] and [%d])", st.Name, *at.nb.posConst, pp.N)
 			}
 			k := int64(pp.N)
 			at.nb.posConst = &k
@@ -485,13 +491,17 @@ func (nb *nodeBind) render() *filter.FNode {
 
 // nodeSteps compiles a chain of steps into node-table binds joined by axis
 // predicates over the pre/post/parent numbering. from == nil starts at the
-// document root.
-func (c *compiler) nodeSteps(from *nodeBind, steps []*xq.Step) (*nodeBind, error) {
+// document root. iterate marks for-clause iteration (mirroring filterSteps'
+// star): iteration binds are always fresh and never memoized, so two for
+// clauses over the same path stay independent cartesian sources; only
+// where/return extensions share binds through the kids memo.
+func (c *compiler) nodeSteps(from *nodeBind, steps []*xq.Step, iterate bool) (*nodeBind, error) {
 	cur := from
 	for _, st := range steps {
 		label, anyLabel := stepLabel(st)
 		key := fmt.Sprintf("%d/%s", st.Axis, label)
-		if cur != nil && len(st.Preds) == 0 {
+		memoize := !iterate && cur != nil && len(st.Preds) == 0
+		if memoize {
 			if nb := cur.kids[key]; nb != nil {
 				cur = nb
 				continue
@@ -508,7 +518,7 @@ func (c *compiler) nodeSteps(from *nodeBind, steps []*xq.Step) (*nodeBind, error
 			return nil, err
 		}
 		c.slots = append(c.slots, &slot{doc: nb.doc, nb: nb})
-		if cur != nil && len(st.Preds) == 0 {
+		if memoize {
 			cur.kids[key] = nb
 		}
 		if err := c.stepPreds(st, &anchor{nb: nb}); err != nil {
@@ -631,7 +641,7 @@ func (c *compiler) resolve(p *xq.PathExpr, ctx *anchor, tree bool) (string, erro
 		return "", fmt.Errorf("xq: relative path is only meaningful inside a step predicate")
 	}
 	if at.nb != nil {
-		nb, err := c.nodeSteps(at.nb, p.Steps)
+		nb, err := c.nodeSteps(at.nb, p.Steps, false)
 		if err != nil {
 			return "", err
 		}

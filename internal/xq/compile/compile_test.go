@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/algebra"
+	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/nodetab"
 	"repro/internal/tab"
@@ -156,6 +157,67 @@ func TestEvalNodesRouteReverseAxis(t *testing.T) {
 	}
 }
 
+func TestNodesRouteIterationBindsStayIndependent(t *testing.T) {
+	// Regression: two for clauses iterating the same var-rooted path must
+	// compile to distinct binds forming a cartesian product. The nodes-route
+	// extension memo used to alias them, collapsing the pairs and letting a
+	// predicate on $a silently constrain $b.
+	works := data.Forest{
+		data.Elem("work",
+			data.Text("title", "t1"),
+			data.Text("title", "t2"),
+		),
+	}
+	ctx := algebra.NewContext()
+	ctx.Catalog["dup"] = works
+	ctx.Catalog[nodetab.Doc("dup")] = nodetab.Build(works)
+
+	src := `for $w in doc("dup")//work, $a in $w/title, $b in $w/title return <p><x>{$a}</x><y>{$b}</y></p>`
+	q, err := xq.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Rule(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Matches) != 3 {
+		t.Fatalf("want one bind for work plus one per title clause, got %d matches:\n%s", len(r.Matches), r)
+	}
+	plan, err := Compile(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := algebra.Run(plan, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rows(t, got)
+	if len(rs) != 4 {
+		t.Fatalf("cartesian of two 2-title clauses should yield 4 rows, got %v", rs)
+	}
+	cross := 0
+	for _, row := range rs {
+		if strings.Contains(row, "t1") && strings.Contains(row, "t2") {
+			cross++
+		}
+	}
+	if cross != 2 {
+		t.Errorf("want 2 mixed (t1,t2)/(t2,t1) rows, got %d in %v", cross, rs)
+	}
+
+	// A predicate on $a must not leak onto $b.
+	plan = compilePlan(t, `for $w in doc("dup")//work, $a in $w/title, $b in $w/title where $a = "t1" return $b`, Options{})
+	got, err = algebra.Run(plan, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs = rows(t, got)
+	if len(rs) != 2 {
+		t.Errorf("filtering $a should leave both $b bindings, got %v", rs)
+	}
+}
+
 func TestEvalConstructor(t *testing.T) {
 	plan := compilePlan(t, `for $w in doc("works")/work where $w/cplace = "Giverny" return <hit><title>{$w/title}</title><at>{$w/cplace}</at></hit>`, Options{})
 	got, err := algebra.Run(plan, worksContext())
@@ -177,6 +239,8 @@ func TestCompileErrors(t *testing.T) {
 		`for $w in doc("d")/parent::b return $w`,              // the document root has no parent
 		`for $w in doc("d")/a, $t in $w/parent::b return $w`,  // reverse axis on filter anchor
 		`for $w in doc("d")/a, $w in $w/b return $w`,          // duplicate binding
+		`for $w in doc("d")/a[2][3] return $w`,                // two positional predicates on one step
+		`for $w in doc("d")/*[2] return $w`,                   // positional predicate on a wildcard step
 	}
 	for _, src := range cases {
 		q, err := xq.Parse(src)

@@ -701,7 +701,9 @@ func IsQuery(src string) bool {
 	if p.eof() {
 		return false
 	}
-	if p.src[p.pos] == '$' || p.src[p.pos] == '.' {
+	// '.'-rooted paths exist only inside step predicates, not at top level,
+	// so a leading '.' is not this dialect.
+	if p.src[p.pos] == '$' {
 		return true
 	}
 	save := p.pos

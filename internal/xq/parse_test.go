@@ -164,6 +164,35 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestIsQuery(t *testing.T) {
+	for _, src := range []string{`for $w in doc("d")/a return $w`, `doc("works")//title`, `$w/title`, `  for $x in doc("d")/a return $x`} {
+		if !IsQuery(src) {
+			t.Errorf("IsQuery(%q) = false, want true", src)
+		}
+	}
+	// YAT_L bodies and '.'-rooted text are not the xq dialect: Parse has no
+	// top-level context-rooted form, so routing them here would always fail.
+	for _, src := range []string{`MAKE $t`, `./title`, `.`, ``, `forge $x`} {
+		if IsQuery(src) {
+			t.Errorf("IsQuery(%q) = true, want false", src)
+		}
+	}
+}
+
+func TestIntegralFloatRoundTrip(t *testing.T) {
+	// data.Float(2) must print in a form that reparses as a float, or
+	// Parse∘Print is not the identity on ASTs.
+	if s := PrintNode(&Literal{Atom: data.Float(2)}); s != "2.0" {
+		t.Fatalf("integral float prints as %q, want \"2.0\"", s)
+	}
+	q := mustParse(t, `for $w in doc("d")/a where $w/y = 2.0 return $w`)
+	q2 := mustParse(t, Print(q))
+	atom := q2.Where.(*CmpExpr).R.(*Literal).Atom
+	if atom.Kind != data.KindFloat || atom.F != 2 {
+		t.Fatalf("float literal reparsed as %v", atom)
+	}
+}
+
 func TestPrintRoundTrip(t *testing.T) {
 	srcs := []string{
 		`doc("works")//title`,

@@ -116,7 +116,13 @@ func writeNode(b *strings.Builder, n Node) {
 				b.WriteString("false()")
 			}
 		case data.KindFloat:
-			b.WriteString(strconv.FormatFloat(x.Atom.F, 'f', -1, 64))
+			s := strconv.FormatFloat(x.Atom.F, 'f', -1, 64)
+			// Keep integral floats float-typed across a round trip: "2"
+			// would reparse as an Int.
+			if !strings.ContainsRune(s, '.') {
+				s += ".0"
+			}
+			b.WriteString(s)
 		default:
 			b.WriteString(strconv.FormatInt(x.Atom.I, 10))
 		}
