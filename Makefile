@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke bench-trace fuzz-short
+.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke stream-smoke bench-trace fuzz-short
 
-check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke
+check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -37,10 +37,18 @@ fault-matrix:
 	$(GO) test -race -run 'TestFaultMatrix|TestOnePercentFaultRate|TestAllowPartial|TestBreaker' ./internal/mediator ./internal/wire ./internal/faults
 
 # Machine-readable Fig. 9 Q2 measurements (per-row vs batched vs traced vs
-# cached vs 1%-fault recovery vs compiled-from-XQuery) for CI trend
-# tracking; asserts row equality across all variants as it runs.
+# cached vs 1%-fault recovery vs compiled-from-XQuery vs pipelined) plus the
+# streaming memory sweep, for CI trend tracking; asserts row equality across
+# all variants as it runs.
 bench-json:
-	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR7.json
+	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR8.json
+
+# End-to-end streaming smoke: a large-n Q2 against out-of-process wrappers
+# under live-heap and first-row-latency assertions, then the `stream`
+# console command on the real three-process deployment. See
+# scripts/stream_smoke.sh.
+stream-smoke:
+	./scripts/stream_smoke.sh
 
 # End-to-end observability smoke: both wrappers and the mediator console as
 # real processes, `profile` on Q2, the rendered span tree checked for

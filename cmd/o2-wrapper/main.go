@@ -74,8 +74,10 @@ func main() {
 	}
 	srv := wire.Serve(ln, exp)
 	host, _ := os.Hostname()
+	// The bound port is reported (not the flag value) so -port 0 gives
+	// scripts an ephemeral port they can parse from this line.
 	fmt.Printf(" o2-wrapper is running at %s:%d (system %s, base %s: %d artifacts, %d persons)\n",
-		host, *port, *system, *base, db.ExtentSize("artifacts"), db.ExtentSize("persons"))
+		host, ln.Addr().(*net.TCPAddr).Port, *system, *base, db.ExtentSize("artifacts"), db.ExtentSize("persons"))
 	defer srv.Close()
 	select {} // serve until killed
 }

@@ -90,8 +90,10 @@ func main() {
 	}
 	srv := wire.Serve(ln, exp)
 	host, _ := os.Hostname()
+	// The bound port is reported (not the flag value) so -port 0 gives
+	// scripts an ephemeral port they can parse from this line.
 	fmt.Printf(" xmlwais-wrapper is running at %s:%d (source %s: %d documents, %d terms)\n",
-		host, *port, cfg.Name, e.Size(), e.Terms())
+		host, ln.Addr().(*net.TCPAddr).Port, cfg.Name, e.Size(), e.Terms())
 	defer srv.Close()
 	select {} // serve until killed
 }

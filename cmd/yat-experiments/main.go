@@ -25,8 +25,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
 	"net"
 	"os"
+	"runtime"
+	"runtime/metrics"
 	"time"
 
 	"repro/internal/algebra"
@@ -46,13 +51,22 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes, fewer repetitions")
 	benchOut := flag.String("bench-json", "", "write Fig. 9 Q2 benchmark results as JSON to this file and exit")
+	streamSmoke := flag.Bool("stream-smoke", false, "assert the streaming engine's memory/latency/identity promises on a large-n Q2 and exit")
+	wrappersDir := flag.String("wrappers", "", "directory with prebuilt o2-wrapper and xmlwais-wrapper binaries for out-of-process memory measurements (empty: build them once with the local toolchain)")
 	flag.Parse()
+	if *streamSmoke {
+		if err := runStreamSmoke(*wrappersDir); err != nil {
+			fmt.Fprintf(os.Stderr, "yat-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchOut != "" {
 		n := 1000
 		if *quick {
 			n = 200
 		}
-		if err := benchJSON(*benchOut, n); err != nil {
+		if err := benchJSON(*benchOut, n, *wrappersDir); err != nil {
 			fmt.Fprintf(os.Stderr, "yat-experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -504,6 +518,34 @@ func (s *delaySource) PushBatchContext(ctx context.Context, plan algebra.Op, bin
 	return out, nil
 }
 
+// FetchStream keeps the wrapped source's streaming capability visible
+// through the latency shim (embedding the Source interface would hide it):
+// the round-trip cost is paid once at open, the chunks flow at memory speed.
+func (s *delaySource) FetchStream(ctx context.Context, doc string) (algebra.ForestCursor, error) {
+	time.Sleep(s.d)
+	if ss, ok := s.Source.(algebra.StreamSource); ok {
+		return ss.FetchStream(ctx, doc)
+	}
+	f, err := s.Source.Fetch(doc)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.NewSliceForestCursor(f, tab.DefaultStreamChunk), nil
+}
+
+// PushStream is FetchStream for pushed plans.
+func (s *delaySource) PushStream(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (tab.Cursor, error) {
+	time.Sleep(s.d)
+	if ps, ok := s.Source.(algebra.PushStreamSource); ok {
+		return ps.PushStream(ctx, plan, params)
+	}
+	t, err := s.Source.Push(plan, params)
+	if err != nil {
+		return nil, err
+	}
+	return tab.NewSliceCursor(t, tab.DefaultStreamChunk), nil
+}
+
 // wireDeploy stands up the Figure 2 scenario over real TCP — both wrappers
 // behind wire servers with the given per-round-trip latency — and returns a
 // mediator connected through wire clients plus a teardown function.
@@ -789,6 +831,129 @@ type benchRecord struct {
 	Retries   int     `json:"retries"`
 	Redials   int     `json:"redials"`
 	Injected  int     `json:"faults_injected,omitempty"`
+	PeakAlloc int64   `json:"peak_alloc_bytes,omitempty"`
+	FirstRow  int64   `json:"first_row_ns,omitempty"`
+}
+
+// liveSampler tracks the live-heap high-water mark of a measurement by
+// forcing a collection at every sample and reading /gc/heap/live:bytes —
+// the bytes the completed mark found reachable. (HeapAlloc right after a
+// forced GC would also include whatever the still-running query goroutines
+// allocated during the collection, a noise term that grows with allocation
+// rate and run length; the per-mark live metric does not.) The recorded
+// peak is therefore the largest set of rows and trees simultaneously
+// retained — the quantity streaming bounds and materialization does not.
+// The pre-run baseline is subtracted, so the workload and deployment
+// themselves do not count.
+type liveSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	base uint64
+	peak uint64
+}
+
+// liveHeap forces a collection and returns the bytes its mark phase found
+// reachable.
+func liveHeap() uint64 {
+	runtime.GC()
+	sample := []metrics.Sample{{Name: "/gc/heap/live:bytes"}}
+	metrics.Read(sample)
+	return sample[0].Value.Uint64()
+}
+
+func startLiveSampler(period time.Duration) *liveSampler {
+	s := &liveSampler{stop: make(chan struct{}), done: make(chan struct{}), base: liveHeap()}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				if live := liveHeap(); live > s.peak {
+					s.peak = live
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// stopPeak ends sampling, takes one final forced-GC sample (so short runs
+// whose result is still retained are measured even if no tick fired) and
+// returns the peak live bytes above the baseline.
+func (s *liveSampler) stopPeak() int64 {
+	close(s.stop)
+	<-s.done
+	if live := liveHeap(); live > s.peak {
+		s.peak = live
+	}
+	if s.peak <= s.base {
+		return 0
+	}
+	return int64(s.peak - s.base)
+}
+
+// hashRow folds one row into an order-sensitive hash; cell and row
+// separators keep ("ab","c") distinct from ("a","bc").
+func hashRow(h hash.Hash64, r tab.Row) {
+	for _, c := range r {
+		io.WriteString(h, c.String())
+		h.Write([]byte{0x1f})
+	}
+	h.Write([]byte{0x1e})
+}
+
+func tabHash(t *tab.Tab) uint64 {
+	h := fnv.New64a()
+	for _, r := range t.Rows {
+		hashRow(h, r)
+	}
+	return h.Sum64()
+}
+
+// streamRun is one drained streamed query: row count and order-sensitive
+// content hash (the rows themselves are never retained — that is the point),
+// first-row and total latency, and the settled Result.
+type streamRun struct {
+	rows     int
+	sum      uint64
+	firstRow time.Duration
+	total    time.Duration
+	res      *mediator.Result
+}
+
+// streamMeasure runs src on the pipelined path without materializing: rows
+// are counted and hashed as chunks arrive and then dropped, so the live set
+// stays bounded while byte-identity against a materialized run remains
+// checkable via tabHash.
+func streamMeasure(m *mediator.Mediator, src string, opts mediator.ExecOptions) (*streamRun, error) {
+	start := time.Now()
+	s, err := m.StreamContext(context.Background(), src, opts)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	r := &streamRun{}
+	for c := range s.Chunks() {
+		if r.rows == 0 && c.Len() > 0 {
+			r.firstRow = time.Since(start)
+		}
+		for _, row := range c.Rows {
+			hashRow(h, row)
+		}
+		r.rows += c.Len()
+	}
+	r.total = time.Since(start)
+	res, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	r.res = res
+	r.sum = h.Sum64()
+	return r, nil
 }
 
 // benchJSON runs the Fig. 9 Q2 variants (per-row serial and parallel,
@@ -796,7 +961,7 @@ type benchRecord struct {
 // fault rate, batched with tracing on, and the same query compiled from
 // XQuery-FLWR text) over the wire deployment and writes machine-readable
 // results — the CI artifact BENCH_PR7.json.
-func benchJSON(path string, n int) error {
+func benchJSON(path string, n int, wrappers string) error {
 	const latency = 2 * time.Millisecond
 	m, _, teardown, err := wireDeploy(n, latency)
 	if err != nil {
@@ -805,28 +970,58 @@ func benchJSON(path string, n int) error {
 	defer teardown()
 
 	variants := []struct {
-		name string
-		src  string
-		opts mediator.ExecOptions
+		name   string
+		src    string
+		opts   mediator.ExecOptions
+		stream bool
 	}{
-		{"q2_per_row_serial", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}},
-		{"q2_per_row_parallel4", datagen.Q2Src, mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute, PerRowDJoin: true}},
-		{"q2_batched_serial", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1}},
-		{"q2_batched_traced", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1, Trace: true}},
-		{"q2_batched_parallel4", datagen.Q2Src, mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+		{name: "q2_per_row_serial", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 1, PerRowDJoin: true}},
+		{name: "q2_per_row_parallel4", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute, PerRowDJoin: true}},
+		{name: "q2_batched_serial", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 1}},
+		{name: "q2_batched_traced", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 1, Trace: true}},
+		{name: "q2_batched_parallel4", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+		// The pipelined engine, serial and parallel: rows never materialize
+		// mediator-side (counted and hashed as chunks arrive), so these two
+		// also report the live-heap peak and the first-row latency.
+		{name: "q2_stream_serial", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 1}, stream: true},
+		{name: "q2_stream_parallel4", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}, stream: true},
 		// The same query compiled from XQuery-FLWR text: parse + compile
 		// overhead included, rows must match the hand-built plan exactly.
 		// These run before the warm-cache variant: enabling the result
 		// cache is sticky, and the compiled plan is identical to the
 		// hand-built one, so it would be answered from cache.
-		{"q2_xquery_batched_serial", datagen.Q2XQuerySrc, mediator.ExecOptions{Parallelism: 1}},
-		{"q2_xquery_batched_parallel4", datagen.Q2XQuerySrc, mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
-		{"q2_warm_cache", datagen.Q2Src, mediator.ExecOptions{Parallelism: 1, CacheSize: 4096}},
+		{name: "q2_xquery_batched_serial", src: datagen.Q2XQuerySrc, opts: mediator.ExecOptions{Parallelism: 1}},
+		{name: "q2_xquery_batched_parallel4", src: datagen.Q2XQuerySrc, opts: mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+		{name: "q2_warm_cache", src: datagen.Q2Src, opts: mediator.ExecOptions{Parallelism: 1, CacheSize: 4096}},
 	}
 	var records []benchRecord
 	var baseline *mediator.Result
 	var baselineNs int64
 	for _, v := range variants {
+		if v.stream {
+			sampler := startLiveSampler(25 * time.Millisecond)
+			run, err := streamMeasure(m, v.src, v.opts)
+			peak := sampler.stopPeak()
+			if err != nil {
+				return fmt.Errorf("%s: %w", v.name, err)
+			}
+			if run.rows != baseline.Tab.Len() || run.sum != tabHash(baseline.Tab) {
+				return fmt.Errorf("%s: streamed rows diverge from per-row baseline", v.name)
+			}
+			records = append(records, benchRecord{
+				Name:      v.name,
+				NsPerOp:   run.total.Nanoseconds(),
+				Pushes:    run.res.Stats.SourcePushes,
+				CacheHits: run.res.Stats.CacheHits,
+				Rows:      run.rows,
+				Speedup:   float64(baselineNs) / float64(maxI64(run.total.Nanoseconds(), 1)),
+				Retries:   run.res.Stats.Retries,
+				Redials:   run.res.Stats.Redials,
+				PeakAlloc: peak,
+				FirstRow:  run.firstRow.Nanoseconds(),
+			})
+			continue
+		}
 		// The warm-cache variant measures its second run; the first fills
 		// the cache.
 		res, d, err := med(func() (*mediator.Result, error) {
@@ -897,11 +1092,21 @@ func benchJSON(path string, n int) error {
 		Redials:   res.Stats.Redials,
 		Injected:  inj[0].Injected() + inj[1].Injected(),
 	})
+	// The streaming memory dimension: Q2 across a ≥10× result-size sweep,
+	// materialized versus pipelined, against out-of-process wrappers so the
+	// mediator's live set is measured alone. The streaming live-heap peak
+	// must stay roughly flat while the materialized one grows with the
+	// result.
+	sweep, err := memorySweep([]int{400, 1200, 4000}, wrappers)
+	if err != nil {
+		return err
+	}
 	out, err := json.MarshalIndent(map[string]any{
-		"experiment": "fig9_q2_batched_pushdown",
-		"artifacts":  n,
-		"latency_ms": latency.Milliseconds(),
-		"results":    records,
+		"experiment":   "fig9_q2_batched_pushdown",
+		"artifacts":    n,
+		"latency_ms":   latency.Milliseconds(),
+		"results":      records,
+		"memory_sweep": sweep,
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -909,6 +1114,110 @@ func benchJSON(path string, n int) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d variants, artifacts=%d)\n", path, len(records), n)
+	fmt.Printf("wrote %s (%d variants, artifacts=%d, %d sweep points)\n", path, len(records), n, len(sweep))
+	return nil
+}
+
+// memRecord is one point of the streaming memory sweep: Q2 at one workload
+// size, materialized versus pipelined, with live-heap peaks and latencies.
+type memRecord struct {
+	Artifacts        int   `json:"artifacts"`
+	Rows             int   `json:"rows"`
+	MaterializedPeak int64 `json:"materialized_peak_bytes"`
+	StreamingPeak    int64 `json:"streaming_peak_bytes"`
+	MaterializedNs   int64 `json:"materialized_ns"`
+	StreamingNs      int64 `json:"streaming_ns"`
+	FirstRowNs       int64 `json:"first_row_ns"`
+}
+
+// memorySweep measures Q2 at each workload size on a fresh out-of-process
+// deployment (the wrapper binaries run as child processes, so the sampled
+// heap is the mediator's alone): the materialized engine first (its result
+// hashed, then dropped), the pipelined engine second, rows asserted
+// byte-identical via the hash.
+func memorySweep(sizes []int, wrappers string) ([]memRecord, error) {
+	dir, cleanup, err := ensureWrappers(wrappers)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	var out []memRecord
+	for _, n := range sizes {
+		m, teardown, err := externalDeploy(dir, n)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := memPoint(m, n)
+		teardown()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *rec)
+	}
+	return out, nil
+}
+
+func memPoint(m *mediator.Mediator, n int) (*memRecord, error) {
+	opts := mediator.ExecOptions{Parallelism: 1, Timeout: time.Minute}
+	sampler := startLiveSampler(10 * time.Millisecond)
+	base, d, err := med(func() (*mediator.Result, error) {
+		return m.ExecuteContext(context.Background(), datagen.Q2Src, opts)
+	})
+	matPeak := sampler.stopPeak()
+	if err != nil {
+		return nil, err
+	}
+	baseSum, baseRows := tabHash(base.Tab), base.Tab.Len()
+	// Drop the materialized result before sampling the streamed run, so the
+	// streamed baseline starts from the same live set.
+	base = nil
+	_ = base
+	sampler = startLiveSampler(10 * time.Millisecond)
+	run, serr := streamMeasure(m, datagen.Q2Src, opts)
+	streamPeak := sampler.stopPeak()
+	if serr != nil {
+		return nil, serr
+	}
+	if run.rows != baseRows || run.sum != baseSum {
+		return nil, fmt.Errorf("memory sweep n=%d: streamed rows diverge from materialized", n)
+	}
+	return &memRecord{
+		Artifacts:        n,
+		Rows:             baseRows,
+		MaterializedPeak: matPeak,
+		StreamingPeak:    streamPeak,
+		MaterializedNs:   d.Nanoseconds(),
+		StreamingNs:      run.total.Nanoseconds(),
+		FirstRowNs:       run.firstRow.Nanoseconds(),
+	}, nil
+}
+
+// runStreamSmoke is the -stream-smoke mode: one large-n Q2 against
+// out-of-process wrappers, materialized then pipelined, asserting the three
+// streaming promises — byte-identical rows (checked inside memPoint),
+// bounded memory (mediator live-heap peak under half the materialized
+// run's) and low time-to-first-row (under 25% of total query time).
+func runStreamSmoke(wrappers string) error {
+	const n = 4000
+	fmt.Printf("stream-smoke: Q2 over wire, artifacts=%d\n", n)
+	recs, err := memorySweep([]int{n}, wrappers)
+	if err != nil {
+		return err
+	}
+	r := recs[0]
+	fmt.Printf("  materialized: live-heap peak %d bytes, %s\n",
+		r.MaterializedPeak, time.Duration(r.MaterializedNs).Round(time.Millisecond))
+	fmt.Printf("  streaming:    live-heap peak %d bytes, %s (first row after %s)\n",
+		r.StreamingPeak, time.Duration(r.StreamingNs).Round(time.Millisecond),
+		time.Duration(r.FirstRowNs).Round(time.Millisecond))
+	if r.StreamingPeak >= r.MaterializedPeak/2 {
+		return fmt.Errorf("stream-smoke: streaming live-heap peak %d bytes is not under half the materialized %d",
+			r.StreamingPeak, r.MaterializedPeak)
+	}
+	if 4*r.FirstRowNs >= r.StreamingNs {
+		return fmt.Errorf("stream-smoke: first row after %v of a %v query, want < 25%%",
+			time.Duration(r.FirstRowNs), time.Duration(r.StreamingNs))
+	}
+	fmt.Println("stream-smoke: OK")
 	return nil
 }

@@ -65,6 +65,7 @@
 //	status                         list sources and views
 //	health                         per-source circuit-breaker state
 //	query  <query> ;               optimize and evaluate (YAT_L or XQuery-FLWR)
+//	stream <query> ;               evaluate pipelined, printing rows as they arrive
 //	xq <query> ;                   evaluate XQuery-FLWR, showing the lowered rule
 //	naive  <query> ;               evaluate without optimization
 //	explain <query> ;              show naive and optimized plans
@@ -122,6 +123,8 @@ func main() {
 	cache := flag.Int("cache", 0, "wrapper-result cache entries (0 = no caching)")
 	partial := flag.Bool("partial", false, "degrade gracefully: return rows from live sources, report dead ones")
 	retries := flag.Int("retries", 0, "transport attempts per wrapper request (0 = default 3, 1 = no retries)")
+	batchChunk := flag.Int("batch-chunk", 0, "binding sets per batched DJoin push (0 = default)")
+	streamBuffer := flag.Int("stream-buffer", 0, "row buffer between a streamed query and its consumer (0 = default)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "deadline for connect (dial + hello)")
 	inject := flag.String("inject", "", "inject transport faults, e.g. rate=0.05,seed=1,kinds=drop+garble")
 	traceOut := flag.String("trace-out", "", "write each profiled query as Chrome trace-event JSON to this file")
@@ -166,7 +169,13 @@ func main() {
 	host, _ := os.Hostname()
 	fmt.Printf(" yat-mediator is running at %s\n", host)
 	opts := mediator.ExecOptions{Parallelism: *parallel, Timeout: *timeout, CacheSize: *cache,
-		AllowPartial: *partial, CheckTypes: *checkTypes}
+		AllowPartial: *partial, CheckTypes: *checkTypes,
+		BatchChunk: *batchChunk, StreamBuffer: *streamBuffer}
+	// Reject bad tuning values at startup, not silently at the first query.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
+		os.Exit(1)
+	}
 	if err := repl(in, os.Stdout, *lint, opts, sess); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
@@ -311,7 +320,7 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 			printHealth(out, m)
 		case "help":
 			printHelp(out)
-		case "query", "naive", "explain", "profile", "typecheck", "xq":
+		case "query", "naive", "explain", "profile", "typecheck", "xq", "stream":
 			mode = fields[0]
 			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 			queryBuf.WriteString(rest)
@@ -384,6 +393,7 @@ func printHelp(out io.Writer) {
   status                         list sources and views
   health                         per-source circuit-breaker state
   query <query> ;                optimize and evaluate (YAT_L or XQuery-FLWR)
+  stream <query> ;               evaluate pipelined, printing rows as they arrive
   xq <query> ;                   evaluate XQuery-FLWR, showing the lowered YAT_L rule
   naive <query> ;                evaluate without optimization
   explain <query> ;              show naive and optimized plans
@@ -440,6 +450,8 @@ func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediat
 			return
 		}
 		printProfile(out, res, sess.traceOut)
+	case "stream":
+		runStream(out, m, src, opts)
 	case "typecheck":
 		plan, err := m.Compose(src)
 		if err != nil {
@@ -461,6 +473,53 @@ func runQuery(out io.Writer, m *mediator.Mediator, mode, src string, opts mediat
 			return
 		}
 		printResult(out, res)
+	}
+}
+
+// runStream evaluates a query on the pipelined path and prints rows the
+// moment their chunk arrives — the console's view of time-to-first-row.
+// Alignment is per chunk (the widths of unseen rows are unknowable while
+// streaming); the terminal line reports first-row and total latency.
+func runStream(out io.Writer, m *mediator.Mediator, src string, opts mediator.ExecOptions) {
+	start := time.Now()
+	s, err := m.StreamContext(context.Background(), src, opts)
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	defer s.Close()
+	fmt.Fprintf(out, " %s\n", strings.Join(s.Cols(), " | "))
+	rows := 0
+	var firstRow time.Duration
+	for c := range s.Chunks() {
+		if rows == 0 {
+			firstRow = time.Since(start)
+		}
+		rows += c.Len()
+		for _, r := range c.Rows {
+			cells := make([]string, len(r))
+			for i, cell := range r {
+				cells[i] = cell.String()
+			}
+			fmt.Fprintf(out, " %s\n", strings.Join(cells, " | "))
+		}
+	}
+	total := time.Since(start)
+	res, err := s.Result()
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, " %d rows streamed (first row %v, total %v, fetches=%d pushes=%d tuples=%d bytes=%d)\n",
+		rows, firstRow.Round(time.Microsecond), total.Round(time.Microsecond),
+		res.Stats.SourceFetches, res.Stats.SourcePushes,
+		res.Stats.TuplesShipped, res.Stats.BytesShipped)
+	for _, f := range res.SourceErrors {
+		cause := f.Err
+		for e := cause; e != nil; e = errors.Unwrap(e) {
+			cause = e
+		}
+		fmt.Fprintf(out, " partial: source %s unavailable: %v\n", f.Source, cause)
 	}
 }
 

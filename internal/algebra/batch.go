@@ -254,8 +254,16 @@ func (s *DJoinSet) Batchable() bool { return s.batch != nil }
 
 // PendingChunks probes the result cache for every binding set and returns
 // the cache-missing set indexes grouped into push-sized chunks. Must only
-// be called when Batchable.
-func (s *DJoinSet) PendingChunks(ctx *Context) [][]int {
+// be called when Batchable. A non-positive Context.BatchChunk is an error:
+// chunk sizes are validated where they enter the system (exec.Options.
+// Validate, the yat-mediator flag) and defaulted by NewContext, so a bad
+// value reaching this point is a configuration bug worth surfacing, not
+// silently papering over.
+func (s *DJoinSet) PendingChunks(ctx *Context) ([][]int, error) {
+	chunk := ctx.BatchChunk
+	if chunk < 1 {
+		return nil, fmt.Errorf("algebra: Context.BatchChunk must be positive, got %d (exec.Options.Validate rejects this at the edge)", chunk)
+	}
 	var pending []int
 	for i := range s.Bindings.Sets {
 		if t, ok := s.cacheGet(ctx, i); ok {
@@ -263,10 +271,6 @@ func (s *DJoinSet) PendingChunks(ctx *Context) [][]int {
 			continue
 		}
 		pending = append(pending, i)
-	}
-	chunk := ctx.BatchChunk
-	if chunk < 1 {
-		chunk = DefaultBatchChunk
 	}
 	var chunks [][]int
 	for start := 0; start < len(pending); start += chunk {
@@ -276,7 +280,7 @@ func (s *DJoinSet) PendingChunks(ctx *Context) [][]int {
 		}
 		chunks = append(chunks, pending[start:end])
 	}
-	return chunks
+	return chunks, nil
 }
 
 // EvalChunk ships one batched push (a single round trip) for the given set

@@ -143,10 +143,12 @@ type Context struct {
 	// Cache, when non-nil, memoizes pushed-subplan results across rows and
 	// queries (see ResultCache); the mediator installs a shared instance.
 	Cache *ResultCache
-	// BatchChunk bounds the binding sets shipped per batched push; values
-	// below 1 mean DefaultBatchChunk. A fixed default (rather than one
-	// derived from worker counts) keeps push counts identical between
-	// serial and parallel execution.
+	// BatchChunk bounds the binding sets shipped per batched push; it must
+	// be positive (NewContext seeds DefaultBatchChunk; values entering from
+	// configuration are validated by exec.Options.Validate and the console
+	// flag, never silently defaulted downstream). A fixed default (rather
+	// than one derived from worker counts) keeps push counts identical
+	// between serial and parallel execution.
 	BatchChunk int
 	// PerRowDJoin disables set-at-a-time DJoin evaluation, restoring the
 	// one-push-per-outer-row baseline (kept for comparison experiments).
@@ -178,12 +180,13 @@ type Context struct {
 // compares owner references with the persons extent this way).
 func NewContext() *Context {
 	ctx := &Context{
-		Catalog: make(map[string]data.Forest),
-		Sources: make(map[string]Source),
-		Store:   data.NewStore(),
-		Skolem:  NewSkolems(),
-		Funcs:   make(map[string]Func),
-		Stats:   &Stats{},
+		Catalog:    make(map[string]data.Forest),
+		Sources:    make(map[string]Source),
+		Store:      data.NewStore(),
+		Skolem:     NewSkolems(),
+		Funcs:      make(map[string]Func),
+		Stats:      &Stats{},
+		BatchChunk: DefaultBatchChunk,
 	}
 	ctx.Funcs["id"] = func(args []tab.Cell) (tab.Cell, error) {
 		if len(args) != 1 || args[0].Kind != tab.CTree {
@@ -674,7 +677,11 @@ func (j *DJoin) Eval(ctx *Context) (*tab.Tab, error) {
 	}
 	set := NewDJoinSet(ctx, j, l)
 	if set.Batchable() {
-		for _, chunk := range set.PendingChunks(ctx) {
+		chunks, err := set.PendingChunks(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, chunk := range chunks {
 			if err := set.EvalChunk(ctx, chunk); err != nil {
 				return nil, err
 			}

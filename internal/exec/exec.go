@@ -50,8 +50,10 @@ type Options struct {
 	FanOut int
 	// Timeout is the per-query deadline applied by Run; zero disables it.
 	Timeout time.Duration
-	// BatchChunk bounds the binding sets per batched DJoin push; values
-	// below 1 mean algebra.DefaultBatchChunk. Deliberately independent of
+	// BatchChunk bounds the binding sets per batched DJoin push; zero means
+	// "use the evaluation context's default" (algebra.DefaultBatchChunk).
+	// Negative values are configuration errors, rejected by Validate —
+	// never silently replaced downstream. Deliberately independent of
 	// Parallelism/FanOut so push counts stay identical between serial and
 	// parallel runs of the same query.
 	BatchChunk int
@@ -82,6 +84,16 @@ type Options struct {
 	// wrapper-side work is attributed to its cause. Off by default;
 	// when off the engine's only extra work is a nil check per node.
 	Trace bool
+	// Stream routes query execution through the chunked streaming path:
+	// Mediator.ExecuteContext drains Mediator.StreamContext (bounded
+	// memory, identical rows) instead of calling Engine.Run. The engine
+	// itself does not consume it — callers pick Run or Stream explicitly.
+	Stream bool
+	// StreamBuffer bounds the row buffer between the streaming evaluator
+	// and the consumer of Mediator.StreamContext (backpressure: producers
+	// stall once the buffer is full). Zero means 2×tab.DefaultStreamChunk;
+	// negative values are rejected by Validate.
+	StreamBuffer int
 	// CheckTypes enables wire conformance checking: the mediator infers a
 	// pattern type for every operator (internal/typecheck) and installs a
 	// validator on the evaluation context that checks each shipped
@@ -90,6 +102,23 @@ type Options struct {
 	// type_violations_total metric) instead of a silently wrong answer.
 	// Off by default; the engine itself does not consume it.
 	CheckTypes bool
+}
+
+// Validate rejects option values that cannot mean anything before they sink
+// into an evaluation: chunk and buffer sizes must not be negative (zero is
+// the documented "use the default" sentinel; explicit non-positive values
+// arriving from flags are rejected at flag-parse time by the consoles).
+// Mediator entry points call it on every query, so a bad configuration
+// fails loudly at the edge instead of silently running with a substituted
+// default deep in the batch evaluator.
+func (o Options) Validate() error {
+	if o.BatchChunk < 0 {
+		return fmt.Errorf("exec: BatchChunk must be positive (or 0 for the default %d), got %d", algebra.DefaultBatchChunk, o.BatchChunk)
+	}
+	if o.StreamBuffer < 0 {
+		return fmt.Errorf("exec: StreamBuffer must be positive (or 0 for the default %d), got %d", 2*tab.DefaultStreamChunk, o.StreamBuffer)
+	}
+	return nil
 }
 
 // Engine evaluates algebra plans with a bounded worker pool. It is safe for
@@ -393,7 +422,10 @@ func (e *Engine) evalDJoin(ctx context.Context, x *algebra.DJoin, actx *algebra.
 	}
 	set := algebra.NewDJoinSet(actx, x, l)
 	if set.Batchable() {
-		chunks := set.PendingChunks(actx)
+		chunks, cerr := set.PendingChunks(actx)
+		if cerr != nil {
+			return nil, cerr
+		}
 		err = e.fanOut(ctx, actx, len(chunks), false, func(u *algebra.Context, i int) error {
 			return set.EvalChunk(u, chunks[i])
 		})

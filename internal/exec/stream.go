@@ -1,0 +1,588 @@
+// Streaming (chunked-batch pull) evaluation. Engine.Stream is the
+// counterpart of Engine.Run that returns a tab.Cursor instead of a
+// materialized table: operators pull chunks of ~tab.DefaultStreamChunk rows
+// from their inputs, transform them and hand them on, so peak memory is
+// bounded by chunk size × pipeline depth rather than by result size, and
+// the first rows surface before the sources have finished answering.
+//
+// Row fidelity: on a serial engine (Parallelism 1) the streamed rows are
+// identical, in order, to Engine.Run — pipeline operators (Bind, Select,
+// Project, Map, Tree, Distinct, the probe side of hash Join, DJoin outer
+// chunks re-expanded in outer order) preserve order chunk by chunk, and
+// inherently blocking operators (Group, Sort, Intersect, per-row DJoin)
+// fall back to materialized evaluation behind a chunking cursor. Under
+// parallelism the one divergence is Union, which interleaves child chunks
+// as they arrive (bag-equal, lower time-to-first-row); everything else
+// stays order-identical.
+//
+// Push accounting can differ from the materialized engine: a streaming
+// DJoin deduplicates binding sets per outer chunk, not globally, so
+// duplicates spanning chunk boundaries cost extra pushes unless the shared
+// result cache absorbs them. Rows are unaffected.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/obs"
+	"repro/internal/tab"
+)
+
+// Stream evaluates a plan as a chunk stream. The cursor must be drained or
+// closed: Close cancels the query context, which aborts in-flight source
+// I/O (client-abandon propagates to wrappers). Under AllowPartial a
+// mid-stream source failure ends the stream instead of erroring — the rows
+// already delivered stand, and the failure is recorded in actx.Partial.
+func (e *Engine) Stream(ctx context.Context, plan algebra.Op, actx *algebra.Context) (tab.Cursor, error) {
+	var cancel context.CancelFunc
+	if e.opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	ectx := actx.WithContext(ctx)
+	if e.opts.BatchChunk > 0 {
+		ectx.BatchChunk = e.opts.BatchChunk
+	}
+	if e.opts.PerRowDJoin {
+		ectx.PerRowDJoin = true
+	}
+	if e.opts.AllowPartial && ectx.Partial == nil {
+		ectx.Partial = algebra.NewPartialReport()
+	}
+	cur, err := e.stream(ctx, plan, ectx)
+	if err != nil {
+		cancel()
+		if e.degrade(ectx, err) {
+			return tab.NewSliceCursor(tab.New(plan.Columns()...), 0), nil
+		}
+		return nil, err
+	}
+	return &rootCursor{e: e, ectx: ectx, cur: cur, cancel: cancel}, nil
+}
+
+// rootCursor is the top of a streamed evaluation: it owns the query
+// context (cancelled at end-of-stream, on error, and on Close) and applies
+// root-level graceful degradation, mirroring Run.
+type rootCursor struct {
+	e      *Engine
+	ectx   *algebra.Context
+	cur    tab.Cursor
+	cancel context.CancelFunc
+	done   bool
+}
+
+func (c *rootCursor) Cols() []string { return c.cur.Cols() }
+
+func (c *rootCursor) Next() (*tab.Tab, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	t, err := c.cur.Next()
+	if err == nil {
+		return t, nil
+	}
+	c.done = true
+	c.cur.Close()
+	c.cancel()
+	if err != io.EOF && c.e.degrade(c.ectx, err) {
+		// The rows already streamed stand; the failed source is on record.
+		err = io.EOF
+	}
+	return nil, err
+}
+
+func (c *rootCursor) Close() error {
+	if c.done {
+		return nil
+	}
+	c.done = true
+	err := c.cur.Close()
+	c.cancel()
+	return err
+}
+
+// stream opens a cursor over one plan node, wrapping it in a span when
+// tracing (the streaming analogue of eval): the span finishes when the
+// cursor ends, carries the produced row count, and records the instant the
+// first chunk left the operator — the per-operator time-to-first-row shown
+// by EXPLAIN ANALYZE.
+func (e *Engine) stream(ctx context.Context, op algebra.Op, actx *algebra.Context) (tab.Cursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if actx.Trace == nil {
+		return e.streamNode(ctx, op, actx)
+	}
+	if _, ok := op.(*algebra.Literal); ok {
+		return e.streamNode(ctx, op, actx)
+	}
+	sp := actx.Trace.NewChild(algebra.OpKind(op), op.Detail())
+	cc := *actx
+	cc.Trace = sp
+	tctx := obs.WithSpan(ctx, sp)
+	cc.Ctx = tctx
+	cur, err := e.streamNode(tctx, op, &cc)
+	if err != nil {
+		sp.Finish(-1, err)
+		return nil, err
+	}
+	return &spanCursor{cur: cur, sp: sp}, nil
+}
+
+// spanCursor ties a span's lifetime to a cursor's: rows are counted as they
+// pass, the first non-empty chunk stamps the first-row time, and the span
+// finishes when the stream ends (or is abandoned).
+type spanCursor struct {
+	cur  tab.Cursor
+	sp   *obs.Span
+	rows int
+	fin  bool
+}
+
+func (c *spanCursor) Cols() []string { return c.cur.Cols() }
+
+func (c *spanCursor) finish(err error) {
+	if c.fin {
+		return
+	}
+	c.fin = true
+	c.sp.Finish(c.rows, err)
+}
+
+func (c *spanCursor) Next() (*tab.Tab, error) {
+	t, err := c.cur.Next()
+	if err != nil {
+		if err == io.EOF {
+			c.finish(nil)
+		} else {
+			c.finish(err)
+		}
+		return nil, err
+	}
+	if t.Len() > 0 {
+		c.sp.MarkFirstRow()
+		c.rows += t.Len()
+	}
+	return t, nil
+}
+
+func (c *spanCursor) Close() error {
+	err := c.cur.Close()
+	c.finish(nil)
+	return err
+}
+
+// materialize evaluates op with the materialized engine and serves the
+// result as chunks — the fallback for operators that are inherently
+// blocking (they need their whole input before emitting anything) and for
+// sources without a streaming protocol. The caller's stream() has already
+// opened this op's span, so the node evaluator is entered directly.
+func (e *Engine) materialize(ctx context.Context, op algebra.Op, actx *algebra.Context) (tab.Cursor, error) {
+	t, err := e.evalNode(ctx, op, actx)
+	if err != nil {
+		return nil, err
+	}
+	return tab.NewSliceCursor(t, 0), nil
+}
+
+// mapCursor streams in through a per-chunk transform (the 1:1 pipeline
+// shape of Bind/Select/Project/Map/Tree).
+func mapCursor(in tab.Cursor, cols []string, f func(*tab.Tab) (*tab.Tab, error)) tab.Cursor {
+	return &tab.FuncCursor{
+		Columns: cols,
+		NextFn: func() (*tab.Tab, error) {
+			t, err := in.Next()
+			if err != nil {
+				return nil, err
+			}
+			out, err := f(t)
+			if err != nil {
+				in.Close()
+				return nil, err
+			}
+			return out, nil
+		},
+		CloseFn: in.Close,
+	}
+}
+
+// streamNode opens a cursor for one plan node. The switch is exhaustive
+// over the algebra (yat-lint enforces it): every operator either pipelines
+// — transforming input chunks as they arrive — or deliberately falls back
+// to materialized evaluation, so the streaming path accepts exactly the
+// plans Run does.
+func (e *Engine) streamNode(ctx context.Context, op algebra.Op, actx *algebra.Context) (tab.Cursor, error) {
+	switch x := op.(type) {
+	case *algebra.Literal:
+		return tab.NewSliceCursor(x.T, 0), nil
+	case *algebra.Doc:
+		// Whole-document leaf: the forest is needed as one value.
+		return e.materialize(ctx, op, actx)
+	case *algebra.SourceQuery:
+		cur, ok, err := x.Stream(actx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return cur, nil
+		}
+		return e.materialize(ctx, op, actx)
+	case *algebra.Bind:
+		if x.Doc != "" {
+			cur, ok, err := x.StreamDoc(actx)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return cur, nil
+			}
+			return e.materialize(ctx, op, actx)
+		}
+		if x.From == nil {
+			return e.materialize(ctx, op, actx) // parameter leaf
+		}
+		in, err := e.stream(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			return (&algebra.Bind{From: lit(t), Col: x.Col, F: x.F}).Eval(actx)
+		}), nil
+	case *algebra.Select:
+		in, err := e.stream(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			return (&algebra.Select{From: lit(t), Pred: x.Pred}).Eval(actx)
+		}), nil
+	case *algebra.Project:
+		in, err := e.stream(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			return (&algebra.Project{From: lit(t), Cols: x.Cols}).Eval(actx)
+		}), nil
+	case *algebra.MapExpr:
+		in, err := e.stream(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			return (&algebra.MapExpr{From: lit(t), Col: x.Col, E: x.E}).Eval(actx)
+		}), nil
+	case *algebra.TreeOp:
+		// Tree construction pipelines: Skolem minting follows chunk
+		// consumption order, which on the serial path equals row order.
+		in, err := e.stream(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			return (&algebra.TreeOp{From: lit(t), C: x.C, OutCol: x.OutCol}).Eval(actx)
+		}), nil
+	case *algebra.Distinct:
+		in, err := e.stream(ctx, x.From, actx)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			out := tab.New(t.Cols...)
+			for _, r := range t.Rows {
+				k := r.Key()
+				if !seen[k] {
+					seen[k] = true
+					out.Rows = append(out.Rows, r)
+				}
+			}
+			return out, nil
+		}), nil
+	case *algebra.Group, *algebra.Sort, *algebra.Intersect:
+		// Blocking operators: nothing can be emitted before the whole
+		// input is seen, so streaming them buys no memory bound.
+		return e.materialize(ctx, op, actx)
+	case *algebra.Join:
+		// Hash join: materialize the build side (R) once, stream the probe
+		// side — probe order is input order, so chunk-by-chunk probing
+		// reproduces the materialized row order exactly.
+		rt, err := e.eval(ctx, x.R, actx)
+		if err != nil {
+			return nil, err
+		}
+		in, err := e.stream(ctx, x.L, actx)
+		if err != nil {
+			return nil, err
+		}
+		return mapCursor(in, x.Columns(), func(t *tab.Tab) (*tab.Tab, error) {
+			return (&algebra.Join{L: lit(t), R: lit(rt), Pred: x.Pred}).Eval(actx)
+		}), nil
+	case *algebra.Union:
+		return e.streamUnion(ctx, x, actx)
+	case *algebra.DJoin:
+		return e.streamDJoin(ctx, x, actx)
+	default:
+		return nil, fmt.Errorf("exec: unknown operator %T", op)
+	}
+}
+
+// streamDJoin consumes outer chunks and resolves each with batched pushes
+// (or per-set inner evaluations) as it arrives, instead of waiting for the
+// whole outer table. The outer is re-bitten to one push batch per chunk
+// (times the worker count under parallelism, so fan-out still has work), so
+// time-to-first-row is one outer bite plus a single push round trip rather
+// than however many batches a larger chunk would need. Deduplication is per
+// outer bite; the shared result cache (when installed) restores cross-bite
+// deduplication. Results re-expand in outer order per bite, so output rows
+// equal the materialized DJoin's.
+func (e *Engine) streamDJoin(ctx context.Context, x *algebra.DJoin, actx *algebra.Context) (tab.Cursor, error) {
+	if actx.PerRowDJoin {
+		// The per-row baseline exists to measure what batching saves;
+		// keeping it materialized keeps the comparison meaningful.
+		return e.materialize(ctx, x, actx)
+	}
+	outer, err := e.stream(ctx, x.L, actx)
+	if err != nil {
+		return nil, err
+	}
+	bite := actx.BatchChunk
+	if bite <= 0 {
+		bite = algebra.DefaultBatchChunk
+	}
+	if p := e.opts.Parallelism; p > 1 {
+		bite *= p
+	}
+	outer = tab.Rechunk(outer, bite)
+	cols := x.Columns()
+	return &tab.FuncCursor{
+		Columns: cols,
+		NextFn: func() (*tab.Tab, error) {
+			l, err := outer.Next()
+			if err != nil {
+				return nil, err
+			}
+			if l.Len() == 0 {
+				return tab.New(cols...), nil
+			}
+			set := algebra.NewDJoinSet(actx, x, l)
+			if set.Batchable() {
+				chunks, err := set.PendingChunks(actx)
+				if err != nil {
+					outer.Close()
+					return nil, err
+				}
+				err = e.fanOut(ctx, actx, len(chunks), false, func(u *algebra.Context, i int) error {
+					return set.EvalChunk(u, chunks[i])
+				})
+				if err != nil {
+					outer.Close()
+					return nil, err
+				}
+			} else {
+				err := e.fanOut(ctx, actx, len(set.Bindings.Sets), mintsSkolems(x.R), func(u *algebra.Context, i int) error {
+					return set.EvalSet(u, i, x.R, func(c *algebra.Context, op algebra.Op) (*tab.Tab, error) {
+						return e.eval(ctx, op, c)
+					})
+				})
+				if err != nil {
+					outer.Close()
+					return nil, err
+				}
+			}
+			return set.Expand(l, cols), nil
+		},
+		CloseFn: outer.Close,
+	}, nil
+}
+
+// streamUnion streams a Union. Serially (and when both branches mint Skolem
+// identifiers, whose order is observable) the branches play in plan order —
+// left exhausted, then right, opened lazily — which preserves the
+// materialized row order. Under parallelism the branches produce into a
+// bounded channel concurrently and chunks interleave in arrival order:
+// bag-identical rows, first row from whichever source answers first.
+// Graceful degradation matches evalUnionPartial: an unavailable branch is
+// recorded and contributes what it managed to stream; the other branch
+// still plays out.
+func (e *Engine) streamUnion(ctx context.Context, x *algebra.Union, actx *algebra.Context) (tab.Cursor, error) {
+	if e.opts.Parallelism <= 1 || (mintsSkolems(x.L) && mintsSkolems(x.R)) {
+		return &seqUnionCursor{e: e, ctx: ctx, actx: actx, cols: x.Columns(), branches: []algebra.Op{x.L, x.R}}, nil
+	}
+	return e.streamUnionInterleaved(ctx, x, actx)
+}
+
+// seqUnionCursor plays its branches in order, opening each lazily.
+type seqUnionCursor struct {
+	e        *Engine
+	ctx      context.Context
+	actx     *algebra.Context
+	cols     []string
+	branches []algebra.Op
+	cur      tab.Cursor
+	i        int
+}
+
+func (c *seqUnionCursor) Cols() []string { return c.cols }
+
+func (c *seqUnionCursor) Next() (*tab.Tab, error) {
+	for {
+		if c.cur == nil {
+			if c.i >= len(c.branches) {
+				return nil, io.EOF
+			}
+			cur, err := c.e.stream(c.ctx, c.branches[c.i], c.actx)
+			c.i++
+			if err != nil {
+				if c.e.degrade(c.actx, err) {
+					continue
+				}
+				return nil, err
+			}
+			c.cur = cur
+		}
+		t, err := c.cur.Next()
+		if err == io.EOF {
+			c.cur.Close()
+			c.cur = nil
+			continue
+		}
+		if err != nil {
+			c.cur.Close()
+			c.cur = nil
+			if c.e.degrade(c.actx, err) {
+				continue
+			}
+			return nil, err
+		}
+		return t, nil
+	}
+}
+
+func (c *seqUnionCursor) Close() error {
+	c.i = len(c.branches)
+	if c.cur != nil {
+		err := c.cur.Close()
+		c.cur = nil
+		return err
+	}
+	return nil
+}
+
+// streamUnionInterleaved runs both branches concurrently, each under a
+// Stats fork (merged exactly once when the stream ends), and yields chunks
+// in arrival order through a bounded channel — the backpressure bound: a
+// branch stalls once the consumer falls two chunks behind.
+func (e *Engine) streamUnionInterleaved(ctx context.Context, x *algebra.Union, actx *algebra.Context) (tab.Cursor, error) {
+	type item struct {
+		t   *tab.Tab
+		err error
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	ch := make(chan item, 2)
+	var wg sync.WaitGroup
+	forks := make([]*algebra.Context, 2)
+	for i, br := range []algebra.Op{x.L, x.R} {
+		fctx := actx.Fork() // Partial and Cache are shared; Stats is forked
+		forks[i] = fctx
+		wg.Add(1)
+		go func(br algebra.Op, fctx *algebra.Context) {
+			defer wg.Done()
+			cur, err := e.stream(cctx, br, fctx)
+			if err != nil {
+				if !e.degrade(fctx, err) {
+					select {
+					case ch <- item{err: err}:
+					case <-cctx.Done():
+					}
+				}
+				return
+			}
+			defer cur.Close()
+			for {
+				t, err := cur.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					if !e.degrade(fctx, err) {
+						select {
+						case ch <- item{err: err}:
+						case <-cctx.Done():
+						}
+					}
+					return
+				}
+				select {
+				case ch <- item{t: t}:
+				case <-cctx.Done():
+					return
+				}
+			}
+		}(br, fctx)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	var mergeOnce sync.Once
+	merge := func() {
+		mergeOnce.Do(func() {
+			for _, f := range forks {
+				actx.Stats.Add(*f.Stats)
+			}
+		})
+	}
+	finished := false
+	return &tab.FuncCursor{
+		Columns: x.Columns(),
+		NextFn: func() (*tab.Tab, error) {
+			if finished {
+				return nil, io.EOF
+			}
+			for {
+				select {
+				case it := <-ch:
+					if it.err != nil {
+						finished = true
+						cancel()
+						<-done
+						merge()
+						return nil, it.err
+					}
+					return it.t, nil
+				case <-done:
+					// Producers are gone; drain what they buffered.
+					select {
+					case it := <-ch:
+						if it.err != nil {
+							finished = true
+							cancel()
+							merge()
+							return nil, it.err
+						}
+						return it.t, nil
+					default:
+						finished = true
+						cancel()
+						merge()
+						return nil, io.EOF
+					}
+				}
+			}
+		},
+		CloseFn: func() error {
+			finished = true
+			cancel()
+			<-done
+			merge()
+			return nil
+		},
+	}, nil
+}

@@ -3,6 +3,7 @@ package mediator
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -216,6 +217,100 @@ func (g *guard) PushContext(ctx context.Context, plan algebra.Op, params map[str
 	})
 	return t, err
 }
+
+// FetchStream implements algebra.StreamSource. The breaker outcome is
+// recorded at open time — a successful stream handshake is the proof of
+// life — and mid-stream transport failures are reported supplementarily by
+// the cursor wrapper, so an abandoned stream can never strand a half-open
+// probe.
+func (g *guard) FetchStream(ctx context.Context, doc string) (algebra.ForestCursor, error) {
+	var cur algebra.ForestCursor
+	err := g.call(func() (e error) {
+		if ss, ok := g.src.(algebra.StreamSource); ok {
+			cur, e = ss.FetchStream(ctx, doc)
+			return
+		}
+		// No native stream support: materialize behind the guard and chunk,
+		// so the caller sees one uniform streaming surface.
+		var f data.Forest
+		if cs, ok := g.src.(algebra.ContextSource); ok {
+			f, e = cs.FetchContext(ctx, doc)
+		} else {
+			f, e = g.src.Fetch(doc)
+		}
+		if e == nil {
+			cur = algebra.NewSliceForestCursor(f, tab.DefaultStreamChunk)
+		}
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &guardForestCursor{cur: cur, g: g}, nil
+}
+
+// PushStream implements algebra.PushStreamSource, with the same breaker
+// protocol as FetchStream.
+func (g *guard) PushStream(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (tab.Cursor, error) {
+	var cur tab.Cursor
+	err := g.call(func() (e error) {
+		if ps, ok := g.src.(algebra.PushStreamSource); ok {
+			cur, e = ps.PushStream(ctx, plan, params)
+			return
+		}
+		var t *tab.Tab
+		if cs, ok := g.src.(algebra.ContextSource); ok {
+			t, e = cs.PushContext(ctx, plan, params)
+		} else {
+			t, e = g.src.Push(plan, params)
+		}
+		if e == nil {
+			cur = tab.NewSliceCursor(t, tab.DefaultStreamChunk)
+		}
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &guardTabCursor{cur: cur, g: g}, nil
+}
+
+// guardForestCursor reports mid-stream transport failures to the breaker
+// and wraps them in UnavailableError so graceful degradation keys on them.
+type guardForestCursor struct {
+	cur algebra.ForestCursor
+	g   *guard
+}
+
+func (c *guardForestCursor) Next() (data.Forest, error) {
+	f, err := c.cur.Next()
+	if err != nil && err != io.EOF && transient(err) {
+		c.g.br.done(err, true)
+		return nil, &algebra.UnavailableError{Source: c.g.name, Err: err}
+	}
+	return f, err
+}
+
+func (c *guardForestCursor) Close() error { return c.cur.Close() }
+
+// guardTabCursor is guardForestCursor for row streams.
+type guardTabCursor struct {
+	cur tab.Cursor
+	g   *guard
+}
+
+func (c *guardTabCursor) Cols() []string { return c.cur.Cols() }
+
+func (c *guardTabCursor) Next() (*tab.Tab, error) {
+	t, err := c.cur.Next()
+	if err != nil && err != io.EOF && transient(err) {
+		c.g.br.done(err, true)
+		return nil, &algebra.UnavailableError{Source: c.g.name, Err: err}
+	}
+	return t, err
+}
+
+func (c *guardTabCursor) Close() error { return c.cur.Close() }
 
 // SourceState implements algebra.StateReporter: traced evaluation
 // annotates each push with the breaker state it ran under, so a profile

@@ -518,8 +518,11 @@ func (m *Mediator) Query(querySrc string) (*Result, error) {
 // bounds one DJoin's in-flight sub-queries, Timeout is the per-query
 // deadline, BatchChunk sizes batched DJoin pushes, PerRowDJoin restores the
 // one-push-per-row baseline, CacheSize installs a shared wrapper-result
-// cache (kept warm across queries), and Trace collects a per-operator span
-// tree returned in Result.Trace.
+// cache (kept warm across queries), Trace collects a per-operator span
+// tree returned in Result.Trace, and Stream/StreamBuffer route execution
+// through the chunked pipeline (StreamContext drained to a table).
+// Non-positive BatchChunk or StreamBuffer values are rejected up front by
+// Validate, which every mediator entry point calls.
 type ExecOptions = exec.Options
 
 // typecheckConfig builds the inference configuration from the imported
@@ -598,6 +601,14 @@ func (m *Mediator) installWireChecker(actx *algebra.Context, plan algebra.Op, op
 // and DJoin sub-queries evaluate concurrently, with identical result rows
 // and identical statistics.
 func (m *Mediator) ExecuteContext(ctx context.Context, querySrc string, opts ExecOptions) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Stream {
+		// The streamed pipeline is the same path drained to a table: byte-
+		// identical rows, bounded intermediate memory.
+		return m.executeStreamed(ctx, querySrc, opts)
+	}
 	if opts.CacheSize > 0 {
 		m.ensureCache(opts.CacheSize)
 	}
@@ -670,6 +681,9 @@ func finishTrace(root *obs.Span, t *tab.Tab, err error) {
 // optimizer output — with the same health tracking and partial-result
 // reporting as ExecuteContext.
 func (m *Mediator) ExecutePlan(ctx context.Context, plan algebra.Op, opts ExecOptions) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.CacheSize > 0 {
 		m.ensureCache(opts.CacheSize)
 	}

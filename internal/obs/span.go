@@ -80,6 +80,30 @@ type Span struct {
 	counts Counts
 	attrs  []Attr
 	kids   []*Span
+	first  time.Time // time the first output chunk left the operator (streaming)
+}
+
+// MarkFirstRow records the instant the span produced its first output row.
+// Only the first call sticks; safe to call from the consumer goroutine of a
+// streaming cursor. Materialized evaluation never calls it, so a zero First
+// means "not streamed" in renderings.
+func (s *Span) MarkFirstRow() {
+	s.mu.Lock()
+	if s.first.IsZero() {
+		s.first = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// FirstRow returns the latency from span start to its first output row, and
+// whether a first row was ever marked.
+func (s *Span) FirstRow() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.first.IsZero() {
+		return 0, false
+	}
+	return s.first.Sub(s.Start), true
 }
 
 // traceSeq disambiguates traces minted in the same nanosecond (and process).
@@ -209,6 +233,9 @@ func renderSpan(b *strings.Builder, s *Span, depth int) {
 	fmt.Fprintf(b, "%8s", s.Duration().Round(time.Microsecond))
 	if s.Rows >= 0 {
 		fmt.Fprintf(b, " rows=%d", s.Rows)
+	}
+	if first, ok := s.FirstRow(); ok {
+		fmt.Fprintf(b, " first=%s", first.Round(time.Microsecond))
 	}
 	c := s.Counts()
 	if c.Fetches > 0 {

@@ -161,6 +161,33 @@ func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, e
 	if nodetab.TouchesPlan(plan) {
 		return nodetab.Eval(plan, params, w.nodeTable)
 	}
+	docVar, ids, err := w.compilePush(plan, params)
+	if err != nil {
+		return nil, err
+	}
+	outCols := plan.Columns()
+	out := tab.New(outCols...)
+	for _, id := range ids {
+		doc := w.E.Retrieve(id)
+		row := make(tab.Row, len(outCols))
+		for i, c := range outCols {
+			if c == docVar || renamedFrom(plan, c) == docVar {
+				row[i] = tab.TreeCell(doc)
+			} else {
+				return nil, fmt.Errorf("waiswrap: output column %s is not bound", c)
+			}
+		}
+		out.AddRow(row)
+	}
+	return out, nil
+}
+
+// compilePush runs the capability check and search evaluation shared by
+// Push and PushStream: it validates the plan against the declared shapes,
+// performs the full-text searches, and returns the bound document variable
+// plus the matching document ids — everything but the row retrieval, which
+// the two entry points pace differently.
+func (w *Wrapper) compilePush(plan algebra.Op, params map[string]tab.Cell) (string, []int, error) {
 	var docVar string
 	var searches []string
 	var walk func(op algebra.Op) error
@@ -204,7 +231,7 @@ func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, e
 		}
 	}
 	if err := walk(plan); err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	// Evaluate: full-text search for each contains, intersected.
 	var ids []int
@@ -222,21 +249,7 @@ func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, e
 		w.LastSearch = strings.Join(searches, " AND ")
 		w.lastMu.Unlock()
 	}
-	outCols := plan.Columns()
-	out := tab.New(outCols...)
-	for _, id := range ids {
-		doc := w.E.Retrieve(id)
-		row := make(tab.Row, len(outCols))
-		for i, c := range outCols {
-			if c == docVar || renamedFrom(plan, c) == docVar {
-				row[i] = tab.TreeCell(doc)
-			} else {
-				return nil, fmt.Errorf("waiswrap: output column %s is not bound", c)
-			}
-		}
-		out.AddRow(row)
-	}
-	return out, nil
+	return docVar, ids, nil
 }
 
 // docVarOf checks the Fworks shape works[ *work@$w ] and returns $w.

@@ -21,6 +21,13 @@
 // algebra.BatchSource, else by looping Push server-side — and answers with
 // one <tab> per binding, in binding order, in a single round trip.
 //
+// fetchstream and pushstream are the streamed forms of fetch and push:
+// the response is a sequence of frames — a <streamhead> header, bounded
+// row/tree chunk frames, and a terminal <streamend> — instead of one
+// monolithic frame, so a large result never materializes for the wire's
+// sake. See stream.go for the frame grammar and the fallback handshake
+// against old wrappers.
+//
 // Errors travel as <error msg="..."/>.
 package wire
 
@@ -299,6 +306,13 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // connection closed or idle too long
 		}
+		if isStreamRequest(req) {
+			// Multi-frame response: header, row chunks, terminal frame.
+			if !s.serveStream(conn, req) {
+				return // a frame write failed: the client is gone
+			}
+			continue
+		}
 		resp := s.respond(req)
 		if s.write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.write))
@@ -535,6 +549,11 @@ type Client struct {
 	// fallback) encodes it once instead of once per request.
 	encMu sync.Mutex
 	encs  map[algebra.Op]string
+
+	// noStream memoizes a wrapper's lack of stream support: after one
+	// "unknown request" probe failure every later FetchStream/PushStream
+	// call goes straight to the one-shot protocol without re-probing.
+	noStream atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool // every live connection, for Close
@@ -985,6 +1004,28 @@ func (c *Client) FetchContext(ctx context.Context, doc string) (data.Forest, err
 	return out, nil
 }
 
+// appendParams writes the single-row parameter table shared by push and
+// pushstream requests.
+func appendParams(req *strings.Builder, params map[string]tab.Cell) {
+	if len(params) == 0 {
+		return
+	}
+	cols := make([]string, 0, len(params))
+	for k := range params {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	pt := tab.New(cols...)
+	row := make(tab.Row, len(cols))
+	for i, k := range cols {
+		row[i] = params[k]
+	}
+	pt.AddRow(row)
+	req.WriteString("<params>")
+	req.WriteString(tab.Marshal(pt))
+	req.WriteString("</params>")
+}
+
 // annotateWrapperTime folds a traced response's wrapper-side evaluation
 // time (the obs-ns stamp) into the calling operator's span.
 func (c *Client) annotateWrapperTime(ctx context.Context, resp *data.Node) {
@@ -1018,22 +1059,7 @@ func (c *Client) PushContext(ctx context.Context, plan algebra.Op, params map[st
 	}
 	req.WriteString(enc)
 	req.WriteString("</plan>")
-	if len(params) > 0 {
-		cols := make([]string, 0, len(params))
-		for k := range params {
-			cols = append(cols, k)
-		}
-		sort.Strings(cols)
-		pt := tab.New(cols...)
-		row := make(tab.Row, len(cols))
-		for i, k := range cols {
-			row[i] = params[k]
-		}
-		pt.AddRow(row)
-		req.WriteString("<params>")
-		req.WriteString(tab.Marshal(pt))
-		req.WriteString("</params>")
-	}
+	appendParams(&req, params)
 	req.WriteString("</push>")
 	resp, err := c.roundTripCtx(ctx, req.String())
 	if err != nil {
