@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke stream-smoke bench-trace fuzz-short
+.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke stream-smoke load-smoke bench-trace fuzz-short
 
-check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke stream-smoke
+check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke stream-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,15 @@ profile-smoke:
 # scripts/typecheck_smoke.sh.
 typecheck-smoke:
 	./scripts/typecheck_smoke.sh
+
+# End-to-end multi-tenant load smoke: two o2 replicas + the wais wrapper +
+# the mediator front door as real processes, yat-loadgen driving concurrent
+# closed-loop sessions across tenants, asserting zero errors and bounded
+# p99; the JSON report lands in BENCH_PR9.json. Tune with LOADGEN_SESSIONS/
+# LOADGEN_DURATION (the checked-in report is a 1000-session run). See
+# scripts/load_smoke.sh.
+load-smoke:
+	./scripts/load_smoke.sh
 
 # Tracing-overhead benchmark: Fig. 9 Q2 batched with ExecOptions.Trace off
 # vs. on (one iteration in CI; run without -benchtime for real numbers).

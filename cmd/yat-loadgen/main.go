@@ -1,0 +1,296 @@
+// Command yat-loadgen drives concurrent query sessions against a
+// yat-mediator front door (-serve) and reports latency percentiles,
+// throughput and shed counts. Each session is a closed loop: it issues a
+// query over POST /query, consumes the NDJSON stream to the terminal
+// line, records the end-to-end latency, and immediately issues the next
+// one until the run duration elapses. Sessions are spread across tenants
+// (X-Tenant header), so the run exercises the front door's per-tenant
+// admission control exactly as a fleet of real clients would.
+//
+// Usage:
+//
+//	yat-loadgen -addr HOST:PORT [-sessions N] [-duration D] [-tenants N]
+//	            [-query Q] [-timeout D] [-out FILE]
+//	            [-assert-p99-ms MS] [-assert-no-errors] [-assert-min-queries N]
+//
+// Sheds (HTTP 429/503 with a structured code) are counted separately from
+// errors: shedding over-limit work is the front door doing its job. The
+// -assert-* flags turn the run into a pass/fail smoke gate for CI.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// result is one session's tally.
+type result struct {
+	latencies []float64 // ms, successful queries only
+	rows      int64
+	queries   int64
+	sheds     map[string]int64
+	errors    int64
+	firstErr  string
+}
+
+// report is the JSON written to -out.
+type report struct {
+	Addr          string           `json:"addr"`
+	Sessions      int              `json:"sessions"`
+	Tenants       int              `json:"tenants"`
+	DurationSec   float64          `json:"duration_sec"`
+	Queries       int64            `json:"queries"`
+	Rows          int64            `json:"rows"`
+	Errors        int64            `json:"errors"`
+	FirstError    string           `json:"first_error,omitempty"`
+	Shed          map[string]int64 `json:"shed"`
+	ThroughputQPS float64          `json:"throughput_qps"`
+	LatencyMS     latencySummary   `json:"latency_ms"`
+}
+
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+type ndLine struct {
+	Done  bool   `json:"done"`
+	Rows  int    `json:"rows"`
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "front door address (host:port), required")
+	sessions := flag.Int("sessions", 100, "concurrent closed-loop sessions")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	tenants := flag.Int("tenants", 8, "tenant ids the sessions spread across")
+	query := flag.String("query", "", "query to issue (default: the paper's Q1)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	out := flag.String("out", "", "write the JSON report to this file")
+	assertP99 := flag.Float64("assert-p99-ms", 0, "fail if p99 latency exceeds this many ms (0 = off)")
+	assertNoErrors := flag.Bool("assert-no-errors", false, "fail on any transport or execution error (sheds excluded)")
+	assertMinQueries := flag.Int64("assert-min-queries", 0, "fail if fewer queries completed")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "yat-loadgen: -addr is required")
+		os.Exit(2)
+	}
+	q := *query
+	if q == "" {
+		q = datagen.Q1Src
+	}
+	url := "http://" + *addr + "/query"
+	body, err := json.Marshal(map[string]any{"query": q})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yat-loadgen:", err)
+		os.Exit(2)
+	}
+
+	// One shared transport sized for the session count: sessions reuse
+	// kept-alive connections instead of churning ephemeral ports.
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *sessions + 8,
+			MaxIdleConnsPerHost: *sessions + 8,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	fmt.Printf("yat-loadgen: %d sessions x %v against %s (%d tenants)\n",
+		*sessions, *duration, *addr, *tenants)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	results := make([]*result, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		res := &result{sheds: map[string]int64{}}
+		results[i] = res
+		tenant := fmt.Sprintf("tenant-%d", i%*tenants)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				runOne(client, url, tenant, body, res)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(results, *addr, *sessions, *tenants, elapsed)
+	fmt.Printf("  %d queries, %d rows, %.1f q/s | p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms | shed %v | errors %d\n",
+		rep.Queries, rep.Rows, rep.ThroughputQPS,
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max,
+		rep.Shed, rep.Errors)
+	if rep.FirstError != "" {
+		fmt.Printf("  first error: %s\n", rep.FirstError)
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yat-loadgen: -out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  report written to %s\n", *out)
+	}
+
+	failed := false
+	if *assertNoErrors && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "yat-loadgen: FAIL: %d errors (first: %s)\n", rep.Errors, rep.FirstError)
+		failed = true
+	}
+	if *assertP99 > 0 && rep.LatencyMS.P99 > *assertP99 {
+		fmt.Fprintf(os.Stderr, "yat-loadgen: FAIL: p99 %.2fms exceeds bound %.2fms\n", rep.LatencyMS.P99, *assertP99)
+		failed = true
+	}
+	if *assertMinQueries > 0 && rep.Queries < *assertMinQueries {
+		fmt.Fprintf(os.Stderr, "yat-loadgen: FAIL: only %d queries completed (want >= %d)\n", rep.Queries, *assertMinQueries)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runOne issues one query and folds its outcome into res (res is owned by
+// one session goroutine; no locking needed).
+func runOne(client *http.Client, url, tenant string, body []byte, res *result) {
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		res.fail(err.Error())
+		return
+	}
+	req.Header.Set("X-Tenant", tenant)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		res.fail(err.Error())
+		return
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last ndLine
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		last = ndLine{}
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			res.fail("bad NDJSON: " + sc.Text())
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		res.fail(err.Error())
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		code := last.Code
+		if code == "" {
+			code = fmt.Sprintf("http_%d", resp.StatusCode)
+		}
+		res.sheds[code]++
+		// A shed is an immediate refusal; pause a beat so a rate-limited
+		// session does not busy-spin against the bucket.
+		time.Sleep(10 * time.Millisecond)
+	case resp.StatusCode != http.StatusOK:
+		res.fail(fmt.Sprintf("http %d: %s", resp.StatusCode, last.Error))
+	case last.Error != "":
+		res.fail(last.Code + ": " + last.Error)
+	case !last.Done:
+		res.fail("stream ended without terminal line")
+	default:
+		res.queries++
+		res.rows += int64(last.Rows)
+		res.latencies = append(res.latencies, float64(time.Since(start).Microseconds())/1000)
+	}
+}
+
+func (r *result) fail(msg string) {
+	r.errors++
+	if r.firstErr == "" {
+		r.firstErr = msg
+	}
+}
+
+func summarize(results []*result, addr string, sessions, tenants int, elapsed time.Duration) report {
+	rep := report{
+		Addr:        addr,
+		Sessions:    sessions,
+		Tenants:     tenants,
+		DurationSec: elapsed.Seconds(),
+		Shed:        map[string]int64{},
+	}
+	var all []float64
+	for _, r := range results {
+		rep.Queries += r.queries
+		rep.Rows += r.rows
+		rep.Errors += r.errors
+		if rep.FirstError == "" {
+			rep.FirstError = r.firstErr
+		}
+		for code, n := range r.sheds {
+			rep.Shed[code] += n
+		}
+		all = append(all, r.latencies...)
+	}
+	if elapsed > 0 {
+		rep.ThroughputQPS = float64(rep.Queries) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Float64s(all)
+		sum := 0.0
+		for _, v := range all {
+			sum += v
+		}
+		rep.LatencyMS = latencySummary{
+			P50:  percentile(all, 50),
+			P90:  percentile(all, 90),
+			P99:  percentile(all, 99),
+			Max:  all[len(all)-1],
+			Mean: sum / float64(len(all)),
+		}
+	}
+	return rep
+}
+
+// percentile reads the pth percentile from sorted ms samples
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -6,7 +6,20 @@
 //
 //	yat-mediator [-script session.txt] [-lint] [-check-types] [-parallel N] [-timeout D]
 //	             [-cache N] [-partial] [-retries N] [-connect-timeout D] [-inject SPEC]
-//	             [-trace-out FILE] [-metrics-addr HOST:PORT]
+//	             [-trace-out FILE] [-metrics-addr HOST:PORT] [-serve HOST:PORT]
+//	             [-tenant-concurrency N] [-tenant-queue N] [-tenant-queue-timeout D]
+//	             [-tenant-rate F] [-tenant-burst N]
+//
+// With -serve, the mediator additionally exposes the multi-tenant HTTP
+// query front door (internal/frontdoor): POST /query streams results as
+// NDJSON, GET /healthz reports source health, and each tenant (X-Tenant
+// header) is admitted through its own token bucket, concurrency limit and
+// bounded wait queue — the -tenant-* flags set the default limits. The
+// console keeps running alongside; with -script, the process keeps serving
+// after the script ends. The `connect` command accepts a comma-separated
+// address list to spread one logical source across replica wrapper
+// processes (least-loaded routing with per-replica circuit breakers and
+// failover; see the `replicas` command).
 //
 // With -lint, every plan is verified by the planlint static checker after
 // each optimizer rewriting step and before execution; a broken invariant
@@ -58,7 +71,8 @@
 //
 // The console reads commands from stdin:
 //
-//	connect <name> <host:port>     connect and import a wrapper
+//	connect <name> <addr>[,addr..] connect a wrapper (N addrs = replica set)
+//	replicas                       per-replica routing state of replicated sources
 //	import <name>                  (re)import a wrapper's capabilities
 //	load <file>                    load a YAT_L program (view definitions)
 //	assume <dropdoc> <keepdoc>     declare a containment assumption
@@ -86,6 +100,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -94,8 +110,10 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/faults"
+	"repro/internal/frontdoor"
 	"repro/internal/mediator"
 	"repro/internal/obs"
+	"repro/internal/route"
 	"repro/internal/typecheck"
 	"repro/internal/waiswrap"
 	"repro/internal/wire"
@@ -129,6 +147,12 @@ func main() {
 	inject := flag.String("inject", "", "inject transport faults, e.g. rate=0.05,seed=1,kinds=drop+garble")
 	traceOut := flag.String("trace-out", "", "write each profiled query as Chrome trace-event JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address")
+	serveAddr := flag.String("serve", "", "serve the multi-tenant HTTP query front door on this address")
+	tenantConcurrency := flag.Int("tenant-concurrency", 8, "front door: concurrent queries per tenant")
+	tenantQueue := flag.Int("tenant-queue", 16, "front door: queued queries per tenant beyond the concurrency limit (negative = no queue)")
+	tenantQueueTimeout := flag.Duration("tenant-queue-timeout", 2*time.Second, "front door: longest a queued query waits for a slot")
+	tenantRate := flag.Float64("tenant-rate", 0, "front door: sustained queries/sec per tenant (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "front door: token-bucket burst per tenant (0 = derived from rate)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -176,9 +200,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
 	}
-	if err := repl(in, os.Stdout, *lint, opts, sess); err != nil {
+
+	m := mediator.New()
+	m.CheckInvariants = *lint
+	m.RegisterFunc("contains", waiswrap.Contains)
+	if sess.metrics != nil {
+		m.SetMetrics(sess.metrics)
+	}
+
+	serving := false
+	if *serveAddr != "" {
+		door := frontdoor.New(m, frontdoor.Options{
+			Limits: frontdoor.Limits{
+				MaxConcurrent: *tenantConcurrency,
+				QueueDepth:    *tenantQueue,
+				QueueTimeout:  *tenantQueueTimeout,
+				RatePerSec:    *tenantRate,
+				Burst:         *tenantBurst,
+			},
+			Exec:    opts,
+			Metrics: sess.metrics,
+		})
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yat-mediator: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		// No WriteTimeout: responses stream for as long as the query runs;
+		// the per-query deadline (door MaxTimeout) bounds them instead.
+		srv := &http.Server{Handler: door.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "yat-mediator: front door: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf(" front door is running at %s\n", ln.Addr())
+		serving = true
+	}
+
+	if err := repl(in, os.Stdout, m, opts, sess, !serving); err != nil {
 		fmt.Fprintf(os.Stderr, "yat-mediator: %v\n", err)
 		os.Exit(1)
+	}
+	if serving {
+		// Console input is done (script consumed or stdin closed) but the
+		// front door keeps serving; deployments run connect scripts this way.
+		fmt.Println(" console closed; front door still serving")
+		select {}
 	}
 }
 
@@ -226,17 +295,21 @@ func parseInjectSpec(spec string) (faults.Config, error) {
 	return cfg, nil
 }
 
-func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, sess *dialConfig) error {
-	m := mediator.New()
-	m.CheckInvariants = lint
-	m.RegisterFunc("contains", waiswrap.Contains)
-	if sess.metrics != nil {
-		m.SetMetrics(sess.metrics)
-	}
-	clients := map[string]*wire.Client{}
+// repl reads console commands. closeOnExit controls whether wrapper
+// connections are torn down when the input ends — the front door keeps
+// serving queries after a -script session, so a serving process must keep
+// its clients.
+func repl(in io.Reader, out io.Writer, m *mediator.Mediator, opts mediator.ExecOptions, sess *dialConfig, closeOnExit bool) error {
+	clients := map[string][]*wire.Client{}
+	routes := map[string]*route.Replicated{}
 	defer func() {
-		for _, c := range clients {
-			c.Close()
+		if !closeOnExit {
+			return
+		}
+		for _, cs := range clients {
+			for _, c := range cs {
+				c.Close()
+			}
 		}
 	}()
 	sc := bufio.NewScanner(in)
@@ -267,11 +340,13 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 			return nil
 		case "connect":
 			if len(fields) != 3 {
-				fmt.Fprintln(out, "usage: connect <name> <host:port>")
+				fmt.Fprintln(out, "usage: connect <name> <host:port>[,host:port...]")
 				break
 			}
-			if err := connect(m, clients, fields[1], fields[2], sess); err != nil {
+			if err := connect(m, clients, routes, fields[1], fields[2], sess); err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
+			} else if n := len(clients[fields[1]]); n > 1 {
+				fmt.Fprintf(out, " connected %s across %d replicas at %s\n", fields[1], n, fields[2])
 			} else {
 				fmt.Fprintf(out, " connected %s at %s\n", fields[1], fields[2])
 			}
@@ -318,6 +393,8 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 			fmt.Fprint(out, m.Describe())
 		case "health":
 			printHealth(out, m)
+		case "replicas":
+			printReplicas(out, routes)
 		case "help":
 			printHelp(out)
 		case "query", "naive", "explain", "profile", "typecheck", "xq", "stream":
@@ -338,7 +415,13 @@ func repl(in io.Reader, out io.Writer, lint bool, opts mediator.ExecOptions, ses
 	return sc.Err()
 }
 
-func connect(m *mediator.Mediator, clients map[string]*wire.Client, name, addr string, sess *dialConfig) error {
+// connect dials one wrapper — or, with a comma-separated address list, N
+// replica wrappers of the same logical source routed through
+// route.Replicated: least-loaded selection, per-replica breakers, failover.
+// Capabilities and structures are imported from the first replica (they are
+// interchangeable copies by construction; route.New verifies the document
+// sets agree).
+func connect(m *mediator.Mediator, clients map[string][]*wire.Client, routes map[string]*route.Replicated, name, addrSpec string, sess *dialConfig) error {
 	ctx := context.Background()
 	if sess.connectTimeout > 0 {
 		var cancel context.CancelFunc
@@ -349,27 +432,78 @@ func connect(m *mediator.Mediator, clients map[string]*wire.Client, name, addr s
 	if sess.inject != nil {
 		wopts.WrapConn = sess.inject.WrapConn
 	}
-	c, err := wire.DialWith(ctx, addr, wopts)
-	if err != nil {
-		return err
+	var cs []*wire.Client
+	for _, addr := range strings.Split(addrSpec, ",") {
+		c, err := wire.DialWith(ctx, strings.TrimSpace(addr), wopts)
+		if err != nil {
+			for _, prev := range cs {
+				prev.Close()
+			}
+			return err
+		}
+		cs = append(cs, c)
 	}
-	clients[name] = c
-	iface, err := c.ImportInterface()
+	iface, err := cs[0].ImportInterface()
 	if err != nil {
 		iface = nil // sources without capability descriptions still work (fetch-only)
 	}
-	if err := m.Connect(c, iface); err != nil {
+	src := algebra.Source(cs[0])
+	if len(cs) > 1 {
+		reps := make([]algebra.Source, len(cs))
+		for i, c := range cs {
+			reps[i] = c
+		}
+		rt, err := route.New(cs[0].Name(), reps, route.Options{})
+		if err != nil {
+			for _, c := range cs {
+				c.Close()
+			}
+			return err
+		}
+		routes[name] = rt
+		src = rt
+	}
+	if err := m.Connect(src, iface); err != nil {
+		for _, c := range cs {
+			c.Close()
+		}
 		return err
 	}
-	return importStructures(m, c)
+	clients[name] = cs
+	return importStructures(m, cs[0])
 }
 
-func importCaps(m *mediator.Mediator, clients map[string]*wire.Client, name string) error {
-	c, ok := clients[name]
-	if !ok {
+func importCaps(m *mediator.Mediator, clients map[string][]*wire.Client, name string) error {
+	cs, ok := clients[name]
+	if !ok || len(cs) == 0 {
 		return fmt.Errorf("not connected: %s", name)
 	}
-	return importStructures(m, c)
+	return importStructures(m, cs[0])
+}
+
+// printReplicas renders each replicated source's routing table: per-replica
+// breaker state, inflight load and lifetime attempts.
+func printReplicas(out io.Writer, routes map[string]*route.Replicated) {
+	if len(routes) == 0 {
+		fmt.Fprintln(out, " no replicated sources")
+		return
+	}
+	names := make([]string, 0, len(routes))
+	for n := range routes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rt := routes[n]
+		fmt.Fprintf(out, " %s (%s):\n", n, rt.SourceState())
+		for _, h := range rt.Health() {
+			fmt.Fprintf(out, "   #%d %s: %s inflight=%d served=%d failures=%d", h.ID, h.Addr, h.State, h.Inflight, h.Served, h.Failures)
+			if h.LastErr != "" {
+				fmt.Fprintf(out, " last: %s", h.LastErr)
+			}
+			fmt.Fprintln(out)
+		}
+	}
 }
 
 func importStructures(m *mediator.Mediator, c *wire.Client) error {
@@ -386,12 +520,13 @@ func importStructures(m *mediator.Mediator, c *wire.Client) error {
 // printHelp lists every console command with a one-line usage.
 func printHelp(out io.Writer) {
 	fmt.Fprint(out, ` commands (queries end with ';' and may span lines):
-  connect <name> <host:port>     connect and import a wrapper
+  connect <name> <addr>[,addr..] connect a wrapper (N addrs = replica set behind one source)
   import <name>                  (re)import a wrapper's capabilities
   load <file>                    load a YAT_L program (view definitions)
   assume <drop> <keep> [modulo]  declare a containment assumption
   status                         list sources and views
   health                         per-source circuit-breaker state
+  replicas                       per-replica routing state of replicated sources
   query <query> ;                optimize and evaluate (YAT_L or XQuery-FLWR)
   stream <query> ;               evaluate pipelined, printing rows as they arrive
   xq <query> ;                   evaluate XQuery-FLWR, showing the lowered YAT_L rule

@@ -15,6 +15,14 @@ import (
 	"repro/internal/wire"
 )
 
+// newTestMediator mirrors main's mediator construction for repl tests.
+func newTestMediator(lint bool) *mediator.Mediator {
+	m := mediator.New()
+	m.CheckInvariants = lint
+	m.RegisterFunc("contains", waiswrap.Contains)
+	return m
+}
+
 // startWrappers brings up the two Figure 2 wrappers on ephemeral ports.
 func startWrappers(t *testing.T) (o2Addr, waisAddr string) {
 	t.Helper()
@@ -72,8 +80,8 @@ func TestConsoleSession(t *testing.T) {
 		"quit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	// lint=true: the whole session must survive plan invariant checking.
-	if err := repl(strings.NewReader(session), &out, true, mediator.ExecOptions{Parallelism: 1}, &dialConfig{}); err != nil {
+	// lint on: the whole session must survive plan invariant checking.
+	if err := repl(strings.NewReader(session), &out, newTestMediator(true), mediator.ExecOptions{Parallelism: 1}, &dialConfig{}, true); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -94,6 +102,55 @@ func TestConsoleSession(t *testing.T) {
 	}
 }
 
+// startO2Replica serves one more O₂ wrapper replica (same data) and
+// returns its address.
+func startO2Replica(t *testing.T) string {
+	t.Helper()
+	ow := o2wrap.New("o2artifact", datagen.PaperDB())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.Serve(ln, wire.Exported{Source: ow, Interface: ow.ExportInterface()})
+	t.Cleanup(srv.Close)
+	return srv.Addr()
+}
+
+func TestConsoleReplicatedConnect(t *testing.T) {
+	o2Addr, waisAddr := startWrappers(t)
+	o2Addr2 := startO2Replica(t)
+	viewFile := filepath.Join(t.TempDir(), "view1.yat")
+	if err := os.WriteFile(viewFile, []byte(datagen.View1Src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	session := strings.Join([]string{
+		"connect o2artifact " + o2Addr + "," + o2Addr2,
+		"connect xmlartwork " + waisAddr,
+		"load " + viewFile,
+		"assume artifacts works $y > 1800",
+		"assume persons works $y > 1800",
+		"query MAKE $t MATCH artworks WITH doc[ *work[ title: $t, more.cplace: $cl ] ] WHERE $cl = \"Giverny\" ;",
+		"replicas",
+		"quit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := repl(strings.NewReader(session), &out, newTestMediator(false), mediator.ExecOptions{Parallelism: 2}, &dialConfig{}, true); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"connected o2artifact across 2 replicas",
+		"Nympheas",
+		"o2artifact (2/2 replicas closed)",
+		"#0 " + o2Addr,
+		"#1 " + o2Addr2,
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("replicated session output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
 func TestConsoleUsageErrors(t *testing.T) {
 	session := strings.Join([]string{
 		"connect onlyname",
@@ -104,7 +161,7 @@ func TestConsoleUsageErrors(t *testing.T) {
 		"exit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := repl(strings.NewReader(session), &out, false, mediator.ExecOptions{Parallelism: 4, Timeout: 30 * time.Second}, &dialConfig{}); err != nil {
+	if err := repl(strings.NewReader(session), &out, newTestMediator(false), mediator.ExecOptions{Parallelism: 4, Timeout: 30 * time.Second}, &dialConfig{}, true); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

@@ -361,11 +361,32 @@ func (m *Mediator) breakerFor(name string) *breaker {
 	return b
 }
 
-// Health reports every connected source's breaker state.
+// Health reports every connected source's breaker state. The source list
+// is read under the registration lock and every breaker is collected under
+// a single healthMu acquisition (not one per source via breakerFor), so the
+// report is one coherent pass even while queries trip breakers and
+// operators connect sources concurrently.
 func (m *Mediator) Health() map[string]SourceHealth {
-	out := make(map[string]SourceHealth, len(m.sources))
+	m.regMu.RLock()
+	names := make([]string, 0, len(m.sources))
 	for name := range m.sources {
-		out[name] = m.breakerFor(name).snapshot()
+		names = append(names, name)
+	}
+	m.regMu.RUnlock()
+	brs := make(map[string]*breaker, len(names))
+	m.healthMu.Lock()
+	for _, name := range names {
+		b, ok := m.health[name]
+		if !ok {
+			b = &breaker{opts: m.Breaker.withDefaults()}
+			m.health[name] = b
+		}
+		brs[name] = b
+	}
+	m.healthMu.Unlock()
+	out := make(map[string]SourceHealth, len(brs))
+	for name, b := range brs {
+		out[name] = b.snapshot()
 	}
 	return out
 }

@@ -29,6 +29,14 @@ import (
 
 // Mediator coordinates sources, views and query evaluation.
 type Mediator struct {
+	// regMu guards the registration catalog below. A long-running service
+	// interleaves Connect/DefineView/RegisterFunc (the front door's
+	// operators re-pointing sources, a console session loading views) with
+	// live queries, whose newContext/Compose snapshots read these maps; the
+	// lock makes registration linearizable against query admission. Readers
+	// take snapshots under RLock and never hold the lock across evaluation,
+	// so a query in flight keeps the catalog it was admitted under.
+	regMu      sync.RWMutex
 	sources    map[string]algebra.Source
 	ifaces     map[string]*capability.Interface
 	sourceDocs map[string]string
@@ -91,6 +99,8 @@ func New() *Mediator {
 // `connect` + `import` steps of Figure 2). Every document the source
 // exports becomes resolvable.
 func (m *Mediator) Connect(src algebra.Source, iface *capability.Interface) error {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	name := src.Name()
 	if _, dup := m.sources[name]; dup {
 		return fmt.Errorf("mediator: source %q already connected", name)
@@ -120,12 +130,18 @@ func (m *Mediator) Connect(src algebra.Source, iface *capability.Interface) erro
 // ImportStructure records the structural pattern governing a document,
 // enabling the type-driven rewritings of Section 5.1.
 func (m *Mediator) ImportStructure(doc string, model *pattern.Model, patternName string) {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	m.structures[doc] = optimizer.Structure{Model: model, Pattern: patternName}
 }
 
 // RegisterFunc registers an external function evaluable at the mediator
 // (e.g. contains, or a method the wrapper exposes for callback).
-func (m *Mediator) RegisterFunc(name string, fn algebra.Func) { m.funcs[name] = fn }
+func (m *Mediator) RegisterFunc(name string, fn algebra.Func) {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	m.funcs[name] = fn
+}
 
 // Assume declares a containment assumption enabling source pruning
 // (Figure 8): joining keep with the drop branch preserves all keep rows.
@@ -133,6 +149,8 @@ func (m *Mediator) RegisterFunc(name string, fn algebra.Func) { m.funcs[name] = 
 // are the selections the assumption absorbs; branches carrying any other
 // selection are never pruned.
 func (m *Mediator) Assume(drop, keep string, modulo ...string) {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	m.assume = append(m.assume, optimizer.Containment{Drop: drop, Keep: keep, Modulo: modulo})
 }
 
@@ -157,6 +175,8 @@ func (m *Mediator) DefineView(r *yatl.Rule) error {
 	if err != nil {
 		return err
 	}
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	if _, dup := m.views[r.Name]; !dup {
 		m.viewOrder = append(m.viewOrder, r.Name)
 	}
@@ -165,13 +185,23 @@ func (m *Mediator) DefineView(r *yatl.Rule) error {
 }
 
 // Views lists the registered view names in definition order.
-func (m *Mediator) Views() []string { return append([]string(nil), m.viewOrder...) }
+func (m *Mediator) Views() []string {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
+	return append([]string(nil), m.viewOrder...)
+}
 
 // View returns a registered view, or nil.
-func (m *Mediator) View(name string) *View { return m.views[name] }
+func (m *Mediator) View(name string) *View {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
+	return m.views[name]
+}
 
 // Sources lists connected source names.
 func (m *Mediator) Sources() []string {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
 	var out []string
 	for n := range m.sources {
 		out = append(out, n)
@@ -180,7 +210,11 @@ func (m *Mediator) Sources() []string {
 }
 
 // Interface returns a connected source's capability interface.
-func (m *Mediator) Interface(source string) *capability.Interface { return m.ifaces[source] }
+func (m *Mediator) Interface(source string) *capability.Interface {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
+	return m.ifaces[source]
+}
 
 // EnableCache installs a wrapper-result cache bounded to the given number
 // of entries, shared by every subsequent query this mediator executes (see
@@ -210,12 +244,17 @@ func (m *Mediator) ensureCache(entries int) {
 	m.cacheMu.Unlock()
 }
 
-// newContext builds a fresh evaluation context for one query.
+// newContext builds a fresh evaluation context for one query: a snapshot of
+// the catalog taken under the registration lock, so a Connect or
+// RegisterFunc racing the query cannot tear the maps mid-read. The lock is
+// released before the context is used — evaluation never holds it.
 func (m *Mediator) newContext() *algebra.Context {
 	ctx := algebra.NewContext()
 	ctx.Cache = m.resultCache()
+	m.regMu.RLock()
+	sources := make(map[string]algebra.Source, len(m.sources))
 	for n, s := range m.sources {
-		ctx.Sources[n] = guardSource(n, s, m.breakerFor(n))
+		sources[n] = s
 	}
 	for n, f := range m.funcs {
 		ctx.Funcs[n] = f
@@ -225,6 +264,10 @@ func (m *Mediator) newContext() *algebra.Context {
 		for _, name := range st.Model.Names() {
 			merged.Define(name, st.Model.Defs[name])
 		}
+	}
+	m.regMu.RUnlock()
+	for n, s := range sources {
+		ctx.Sources[n] = guardSource(n, s, m.breakerFor(n))
 	}
 	ctx.Model = merged
 	return ctx
@@ -261,8 +304,7 @@ func (m *Mediator) compose(querySrc string) (algebra.Op, error) {
 // xqOptions configures the xq compiler against this mediator's catalog.
 func (m *Mediator) xqOptions() xqcompile.Options {
 	return xqcompile.Options{IsView: func(doc string) bool {
-		_, ok := m.views[doc]
-		return ok
+		return m.View(doc) != nil
 	}}
 }
 
@@ -284,7 +326,7 @@ func (m *Mediator) substituteViews(op algebra.Op, depth int) (algebra.Op, error)
 	switch x := op.(type) {
 	case *algebra.Bind:
 		if x.Doc != "" {
-			if v, ok := m.views[x.Doc]; ok {
+			if v := m.View(x.Doc); v != nil {
 				inner, err := m.substituteViews(v.Plan, depth+1)
 				if err != nil {
 					return nil, err
@@ -295,7 +337,7 @@ func (m *Mediator) substituteViews(op algebra.Op, depth int) (algebra.Op, error)
 				}
 				return &algebra.Bind{From: t, Col: t.Columns()[0], F: x.F}, nil
 			}
-			if _, known := m.sourceDocs[x.Doc]; !known {
+			if !m.docExported(x.Doc) {
 				return nil, fmt.Errorf("mediator: unknown document %q (no source or view exports it)", x.Doc)
 			}
 			return x, nil
@@ -306,7 +348,7 @@ func (m *Mediator) substituteViews(op algebra.Op, depth int) (algebra.Op, error)
 		}
 		return x, nil
 	case *algebra.Doc:
-		if _, ok := m.views[x.Name]; ok {
+		if m.View(x.Name) != nil {
 			return nil, fmt.Errorf("mediator: Doc over view %q is not supported; use Bind", x.Name)
 		}
 		return x, nil
@@ -314,6 +356,14 @@ func (m *Mediator) substituteViews(op algebra.Op, depth int) (algebra.Op, error)
 		out := rebuildAll(op, rebuild)
 		return out, firstErr
 	}
+}
+
+// docExported reports whether any connected source exports the document.
+func (m *Mediator) docExported(doc string) bool {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
+	_, known := m.sourceDocs[doc]
+	return known
 }
 
 func rebuildBind(b *algebra.Bind, from algebra.Op) *algebra.Bind {
@@ -362,15 +412,25 @@ func rebuildAll(op algebra.Op, fn func(algebra.Op) algebra.Op) algebra.Op {
 // optimizerOptions assembles the optimizer configuration from the imported
 // capabilities.
 func (m *Mediator) optimizerOptions() optimizer.Options {
-	ifaces := map[string]*capability.Interface{}
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
+	ifaces := make(map[string]*capability.Interface, len(m.ifaces))
 	for n, i := range m.ifaces {
 		ifaces[n] = i
 	}
+	sourceDocs := make(map[string]string, len(m.sourceDocs))
+	for d, s := range m.sourceDocs {
+		sourceDocs[d] = s
+	}
+	structures := make(map[string]optimizer.Structure, len(m.structures))
+	for d, st := range m.structures {
+		structures[d] = st
+	}
 	return optimizer.Options{
 		Interfaces:      ifaces,
-		SourceDocs:      m.sourceDocs,
-		Structures:      m.structures,
-		Assume:          m.assume,
+		SourceDocs:      sourceDocs,
+		Structures:      structures,
+		Assume:          append([]optimizer.Containment(nil), m.assume...),
 		InfoPassing:     true,
 		CheckInvariants: m.CheckInvariants,
 		Trace:           m.Trace,
@@ -381,6 +441,8 @@ func (m *Mediator) optimizerOptions() optimizer.Options {
 // catalog. Unlike the optimizer, the mediator knows the full document
 // catalog, so unknown-document diagnostics are enabled.
 func (m *Mediator) lintConfig() *planlint.Config {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
 	structures := make(map[string]planlint.Structure, len(m.structures))
 	for doc, st := range m.structures {
 		structures[doc] = planlint.Structure{Model: st.Model, Pattern: st.Pattern}
@@ -389,9 +451,17 @@ func (m *Mediator) lintConfig() *planlint.Config {
 	for d := range m.sourceDocs {
 		docs[d] = true
 	}
+	ifaces := make(map[string]*capability.Interface, len(m.ifaces))
+	for n, i := range m.ifaces {
+		ifaces[n] = i
+	}
+	sourceDocs := make(map[string]string, len(m.sourceDocs))
+	for d, s := range m.sourceDocs {
+		sourceDocs[d] = s
+	}
 	return &planlint.Config{
-		Interfaces: m.ifaces,
-		SourceDocs: m.sourceDocs,
+		Interfaces: ifaces,
+		SourceDocs: sourceDocs,
 		Structures: structures,
 		Docs:       docs,
 	}
@@ -528,6 +598,8 @@ type ExecOptions = exec.Options
 // typecheckConfig builds the inference configuration from the imported
 // structures (capability exports and ImportStructure calls).
 func (m *Mediator) typecheckConfig() *typecheck.Config {
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
 	st := make(map[string]typecheck.Structure, len(m.structures))
 	for doc, s := range m.structures {
 		st[doc] = typecheck.Structure{Model: s.Model, Pattern: s.Pattern}
@@ -769,8 +841,8 @@ func (m *Mediator) QueryNaive(querySrc string) (*Result, error) {
 // Materialize evaluates a view and returns its document forest (used by
 // examples to display the integrated XML).
 func (m *Mediator) Materialize(view string) (*tab.Tab, error) {
-	v, ok := m.views[view]
-	if !ok {
+	v := m.View(view)
+	if v == nil {
 		return nil, fmt.Errorf("mediator: unknown view %q", view)
 	}
 	plan, err := m.substituteViews(v.Plan, 1)
@@ -790,8 +862,8 @@ func (m *Mediator) Materialize(view string) (*tab.Tab, error) {
 func (m *Mediator) MaterializeProgram() (map[string]data.Forest, *data.Store, error) {
 	ctx := m.newContext()
 	out := map[string]data.Forest{}
-	for _, name := range m.viewOrder {
-		plan, err := m.substituteViews(m.views[name].Plan, 1)
+	for _, name := range m.Views() {
+		plan, err := m.substituteViews(m.View(name).Plan, 1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -813,11 +885,18 @@ func (m *Mediator) MaterializeProgram() (map[string]data.Forest, *data.Store, er
 
 // Describe renders a summary of the mediator's state (console `status`).
 func (m *Mediator) Describe() string {
+	m.regMu.RLock()
+	sources := make(map[string]algebra.Source, len(m.sources))
+	for n, s := range m.sources {
+		sources[n] = s
+	}
+	views := append([]string(nil), m.viewOrder...)
+	m.regMu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "sources:\n")
-	for n, s := range m.sources {
+	for n, s := range sources {
 		fmt.Fprintf(&b, "  %s exports %s\n", n, strings.Join(s.Documents(), ", "))
 	}
-	fmt.Fprintf(&b, "views: %s\n", strings.Join(m.viewOrder, ", "))
+	fmt.Fprintf(&b, "views: %s\n", strings.Join(views, ", "))
 	return b.String()
 }

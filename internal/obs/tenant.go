@@ -1,0 +1,52 @@
+package obs
+
+import "strings"
+
+// LabelName composes an instrument name with one label, in the familiar
+// brace form: LabelName("fd_queries", "tenant", "acme") returns
+// "fd_queries{tenant=acme}". The label value is sanitized so a hostile
+// tenant id cannot forge extra labels or corrupt the snapshot keyspace —
+// the characters structuring the name are folded to '_'.
+func LabelName(base, label, value string) string {
+	return base + "{" + label + "=" + sanitizeLabel(value) + "}"
+}
+
+// labelStructural are the characters with structural meaning in a composed
+// instrument name.
+const labelStructural = "{}=,\"\n\r"
+
+func sanitizeLabel(v string) string {
+	if v == "" {
+		return "unknown"
+	}
+	if !strings.ContainsAny(v, labelStructural) {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		if strings.ContainsRune(labelStructural, r) {
+			b.WriteRune('_')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// TenantCounter returns the per-tenant variant of a counter: the front
+// door's admission accounting creates one instrument per (metric, tenant)
+// pair, so a shared /metrics snapshot breaks down by tenant without a
+// separate metrics pipeline.
+func (r *Registry) TenantCounter(base, tenant string) *Counter {
+	return r.Counter(LabelName(base, "tenant", tenant))
+}
+
+// TenantGauge returns the per-tenant variant of a gauge.
+func (r *Registry) TenantGauge(base, tenant string) *Gauge {
+	return r.Gauge(LabelName(base, "tenant", tenant))
+}
+
+// TenantHistogram returns the per-tenant variant of a histogram.
+func (r *Registry) TenantHistogram(base, tenant string) *Histogram {
+	return r.Histogram(LabelName(base, "tenant", tenant))
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLabelName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"acme", "fd_queries{tenant=acme}"},
+		{"", "fd_queries{tenant=unknown}"},
+		{"a=b{c}", "fd_queries{tenant=a_b_c_}"},
+		{"x,y\"z\n", "fd_queries{tenant=x_y_z_}"},
+	}
+	for _, c := range cases {
+		if got := LabelName("fd_queries", "tenant", c.in); got != c.want {
+			t.Errorf("LabelName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTenantInstrumentsStableAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	if r.TenantCounter("q", "a") != r.TenantCounter("q", "a") {
+		t.Fatal("same (metric, tenant) must return the same counter")
+	}
+	if r.TenantCounter("q", "a") == r.TenantCounter("q", "b") {
+		t.Fatal("different tenants must get distinct counters")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := string(rune('a' + i%2))
+			for j := 0; j < 100; j++ {
+				r.TenantCounter("q", tenant).Add(1)
+				r.TenantHistogram("lat", tenant).Observe(float64(j))
+				r.TenantGauge("run", tenant).Set(int64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.TenantCounter("q", "a").Value() + r.TenantCounter("q", "b").Value(); got != 800 {
+		t.Fatalf("tenant counter total = %d, want 800", got)
+	}
+	snap := r.Snapshot()
+	counters := snap["counters"].(map[string]int64)
+	if _, ok := counters["q{tenant=a}"]; !ok {
+		t.Fatalf("snapshot missing labeled counter: %v", counters)
+	}
+}

@@ -1,0 +1,524 @@
+// Package route fans one logical source across N replica wrappers. The
+// mediator connects a *Replicated exactly like a single wrapper client; the
+// router below it picks the least-loaded live replica per call, evicts
+// replicas whose transport keeps failing behind per-replica circuit
+// breakers (closed → open → half-open re-probe, the PR 4 semantics), and
+// fails a call over to the remaining replicas when the chosen one dies
+// mid-request. Only transport-level failures (wire.IsRetryable) trigger
+// failover: a server-reported <error> frame is proof of life and an answer
+// — replaying it elsewhere could only hide a real semantic problem — and a
+// caller's expired context is the caller's budget, not the replica's
+// fault.
+//
+// The router sits *below* the mediator's per-source guard: when every
+// replica is down, the returned error wraps the last transport failure so
+// the guard still classifies the logical source as unavailable, trips the
+// mediator-level breaker and lets AllowPartial queries degrade around it.
+package route
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/tab"
+	"repro/internal/wire"
+)
+
+// BreakerOptions configure the per-replica circuit breakers. They mirror
+// the mediator's per-source breakers: FailureThreshold consecutive
+// transport failures open a replica's breaker, Cooldown later one probe is
+// let through (half-open) and its outcome closes or re-opens it.
+type BreakerOptions struct {
+	// FailureThreshold is the number of consecutive transport failures
+	// that evicts a replica (0 = default 3).
+	FailureThreshold int
+	// Cooldown is how long an evicted replica sits out before a probe
+	// re-tries it (0 = default 2s).
+	Cooldown time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Second
+	}
+	return o
+}
+
+// Options configure a replicated source.
+type Options struct {
+	Breaker BreakerOptions
+}
+
+// Breaker states, identical to the mediator's source breakers.
+const (
+	stClosed = iota
+	stOpen
+	stHalfOpen
+)
+
+// breaker is one replica's health state. Only transport failures count;
+// semantic errors reset it (the replica answered, hence lives).
+type breaker struct {
+	opts BreakerOptions
+
+	mu      sync.Mutex
+	state   int
+	fails   int
+	until   time.Time // open: earliest probe time
+	lastErr error     // last transport failure
+}
+
+// ready reports whether the breaker is closed (calls flow freely).
+func (b *breaker) ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stClosed
+}
+
+// admit reports whether a call may proceed; an open breaker whose cooldown
+// elapsed flips to half-open and admits exactly this probe.
+func (b *breaker) admit() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stOpen:
+		if time.Now().Before(b.until) {
+			return false
+		}
+		b.state = stHalfOpen
+		return true
+	case stHalfOpen:
+		return false
+	default:
+		return true
+	}
+}
+
+// done records a call outcome.
+func (b *breaker) done(err error, transient bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil || !transient {
+		b.state = stClosed
+		b.fails = 0
+		b.lastErr = nil
+		return
+	}
+	b.fails++
+	b.lastErr = err
+	if b.state == stHalfOpen || b.fails >= b.opts.FailureThreshold {
+		b.state = stOpen
+		b.until = time.Now().Add(b.opts.Cooldown)
+	}
+}
+
+// lastFailure returns the transport failure the breaker last recorded.
+func (b *breaker) lastFailure() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// replica is one backing wrapper process with its health and load state.
+type replica struct {
+	id       int
+	src      algebra.Source
+	br       *breaker
+	inflight atomic.Int64 // calls (and open streams) currently against it
+	served   atomic.Int64 // calls attempted against it, success or not
+}
+
+// Replicated is one logical source backed by N replica wrappers. It
+// implements the full optional Source surface (ContextSource, BatchSource,
+// StreamSource, PushStreamSource, RetryReporter) with per-replica
+// fallbacks, so the mediator's capability type-asserts see the union of
+// what the replicas can do.
+type Replicated struct {
+	name string
+	docs []string
+	reps []*replica
+	rr   atomic.Uint64 // rotation counter breaking least-loaded ties
+}
+
+// New builds a replicated source named name over the given replicas. All
+// replicas must export the same document set — they are interchangeable
+// copies of one logical source, not a federation.
+func New(name string, replicas []algebra.Source, opts Options) (*Replicated, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("route: source %s: no replicas", name)
+	}
+	bo := opts.Breaker.withDefaults()
+	docs := sortedDocs(replicas[0])
+	r := &Replicated{name: name, docs: docs}
+	for i, src := range replicas {
+		if i > 0 {
+			if d := sortedDocs(src); !equalStrings(d, docs) {
+				return nil, fmt.Errorf("route: source %s: replica %d exports %v, replica 0 exports %v",
+					name, i, d, docs)
+			}
+		}
+		r.reps = append(r.reps, &replica{id: i, src: src, br: &breaker{opts: bo}})
+	}
+	return r, nil
+}
+
+func sortedDocs(src algebra.Source) []string {
+	d := append([]string(nil), src.Documents()...)
+	sort.Strings(d)
+	return d
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pick chooses the replica for the next attempt: the least-loaded among
+// untried replicas with closed breakers; failing that, the first untried
+// replica whose breaker admits a half-open probe. Ties rotate so equal
+// load spreads instead of pinning replica 0.
+func (r *Replicated) pick(tried []bool) *replica {
+	start := int(r.rr.Add(1)) % len(r.reps)
+	var best *replica
+	var bestLoad int64
+	for i := 0; i < len(r.reps); i++ {
+		rep := r.reps[(start+i)%len(r.reps)]
+		if tried[rep.id] || !rep.br.ready() {
+			continue
+		}
+		if load := rep.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = rep, load
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for i := 0; i < len(r.reps); i++ {
+		rep := r.reps[(start+i)%len(r.reps)]
+		if !tried[rep.id] && rep.br.admit() {
+			return rep
+		}
+	}
+	return nil
+}
+
+// do runs one logical call, failing over across replicas on transport
+// errors. Each replica is attempted at most once per call; its breaker
+// absorbs the outcome either way. Success and semantic errors settle the
+// call at the replica that produced them.
+func (r *Replicated) do(ctx context.Context, fn func(*replica) error) error {
+	tried := make([]bool, len(r.reps))
+	var lastErr error
+	for n := 0; n < len(r.reps); n++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rep := r.pick(tried)
+		if rep == nil {
+			break
+		}
+		tried[rep.id] = true
+		rep.served.Add(1)
+		rep.inflight.Add(1)
+		err := fn(rep)
+		rep.inflight.Add(-1)
+		tr := err != nil && wire.IsRetryable(err)
+		rep.br.done(err, tr)
+		if !tr {
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		// Every breaker refused (open mid-cooldown or probing): surface the
+		// failure that evicted one of them so the error still classifies as
+		// a transport-level outage upstream.
+		for _, rep := range r.reps {
+			if e := rep.br.lastFailure(); e != nil {
+				lastErr = e
+				break
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no replica admitted the call")
+	}
+	return fmt.Errorf("route: source %s: all %d replicas unavailable: %w", r.name, len(r.reps), lastErr)
+}
+
+// Name implements algebra.Source.
+func (r *Replicated) Name() string { return r.name }
+
+// Documents implements algebra.Source.
+func (r *Replicated) Documents() []string { return append([]string(nil), r.docs...) }
+
+// Fetch implements algebra.Source.
+func (r *Replicated) Fetch(doc string) (data.Forest, error) {
+	return r.FetchContext(context.Background(), doc)
+}
+
+// FetchContext implements algebra.ContextSource.
+func (r *Replicated) FetchContext(ctx context.Context, doc string) (data.Forest, error) {
+	var f data.Forest
+	err := r.do(ctx, func(rep *replica) (e error) {
+		if cs, ok := rep.src.(algebra.ContextSource); ok {
+			f, e = cs.FetchContext(ctx, doc)
+		} else {
+			f, e = rep.src.Fetch(doc)
+		}
+		return
+	})
+	return f, err
+}
+
+// Push implements algebra.Source.
+func (r *Replicated) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	return r.PushContext(context.Background(), plan, params)
+}
+
+// PushContext implements algebra.ContextSource.
+func (r *Replicated) PushContext(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	var t *tab.Tab
+	err := r.do(ctx, func(rep *replica) (e error) {
+		if cs, ok := rep.src.(algebra.ContextSource); ok {
+			t, e = cs.PushContext(ctx, plan, params)
+		} else {
+			t, e = rep.src.Push(plan, params)
+		}
+		return
+	})
+	return t, err
+}
+
+// PushBatch implements algebra.BatchSource.
+func (r *Replicated) PushBatch(plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	return r.PushBatchContext(context.Background(), plan, bindings)
+}
+
+// PushBatchContext implements algebra.BatchSource. Replicas without batch
+// support evaluate per binding — all-or-error like the wire protocol's
+// batched push, and still one replica per logical call so a failover
+// cannot interleave half a batch from each of two replicas.
+func (r *Replicated) PushBatchContext(ctx context.Context, plan algebra.Op, bindings []map[string]tab.Cell) ([]*tab.Tab, error) {
+	var ts []*tab.Tab
+	err := r.do(ctx, func(rep *replica) (e error) {
+		if bs, ok := rep.src.(algebra.BatchSource); ok {
+			ts, e = bs.PushBatchContext(ctx, plan, bindings)
+			return
+		}
+		out := make([]*tab.Tab, 0, len(bindings))
+		for _, bind := range bindings {
+			var t *tab.Tab
+			if cs, ok := rep.src.(algebra.ContextSource); ok {
+				t, e = cs.PushContext(ctx, plan, bind)
+			} else {
+				t, e = rep.src.Push(plan, bind)
+			}
+			if e != nil {
+				return
+			}
+			out = append(out, t)
+		}
+		ts = out
+		return
+	})
+	return ts, err
+}
+
+// FetchStream implements algebra.StreamSource. Failover applies to the
+// stream handshake only: once rows flow, a mid-stream transport failure
+// surfaces to the caller (rows already emitted cannot be replayed
+// elsewhere without duplication) and is charged to the replica's breaker
+// by the cursor wrapper. The replica's inflight count stays raised until
+// the cursor closes, so least-loaded routing sees long streams as load.
+func (r *Replicated) FetchStream(ctx context.Context, doc string) (algebra.ForestCursor, error) {
+	var cur algebra.ForestCursor
+	var on *replica
+	err := r.do(ctx, func(rep *replica) (e error) {
+		if ss, ok := rep.src.(algebra.StreamSource); ok {
+			cur, e = ss.FetchStream(ctx, doc)
+		} else {
+			var f data.Forest
+			if cs, ok := rep.src.(algebra.ContextSource); ok {
+				f, e = cs.FetchContext(ctx, doc)
+			} else {
+				f, e = rep.src.Fetch(doc)
+			}
+			if e == nil {
+				cur = algebra.NewSliceForestCursor(f, tab.DefaultStreamChunk)
+			}
+		}
+		if e == nil {
+			on = rep
+		}
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	on.inflight.Add(1)
+	return &routeForestCursor{cur: cur, rep: on}, nil
+}
+
+// PushStream implements algebra.PushStreamSource with the same handshake
+// failover and stream-lifetime load accounting as FetchStream.
+func (r *Replicated) PushStream(ctx context.Context, plan algebra.Op, params map[string]tab.Cell) (tab.Cursor, error) {
+	var cur tab.Cursor
+	var on *replica
+	err := r.do(ctx, func(rep *replica) (e error) {
+		if ps, ok := rep.src.(algebra.PushStreamSource); ok {
+			cur, e = ps.PushStream(ctx, plan, params)
+		} else {
+			var t *tab.Tab
+			if cs, ok := rep.src.(algebra.ContextSource); ok {
+				t, e = cs.PushContext(ctx, plan, params)
+			} else {
+				t, e = rep.src.Push(plan, params)
+			}
+			if e == nil {
+				cur = tab.NewSliceCursor(t, tab.DefaultStreamChunk)
+			}
+		}
+		if e == nil {
+			on = rep
+		}
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	on.inflight.Add(1)
+	return &routeTabCursor{cur: cur, rep: on}, nil
+}
+
+// routeForestCursor charges mid-stream transport failures to the serving
+// replica's breaker and releases its inflight slot on Close.
+type routeForestCursor struct {
+	cur  algebra.ForestCursor
+	rep  *replica
+	once sync.Once
+}
+
+func (c *routeForestCursor) Next() (data.Forest, error) {
+	f, err := c.cur.Next()
+	if err != nil && !errors.Is(err, context.Canceled) && wire.IsRetryable(err) {
+		c.rep.br.done(err, true)
+	}
+	return f, err
+}
+
+func (c *routeForestCursor) Close() error {
+	c.once.Do(func() { c.rep.inflight.Add(-1) })
+	return c.cur.Close()
+}
+
+// routeTabCursor is routeForestCursor for row streams.
+type routeTabCursor struct {
+	cur  tab.Cursor
+	rep  *replica
+	once sync.Once
+}
+
+func (c *routeTabCursor) Cols() []string { return c.cur.Cols() }
+
+func (c *routeTabCursor) Next() (*tab.Tab, error) {
+	t, err := c.cur.Next()
+	if err != nil && !errors.Is(err, context.Canceled) && wire.IsRetryable(err) {
+		c.rep.br.done(err, true)
+	}
+	return t, err
+}
+
+func (c *routeTabCursor) Close() error {
+	c.once.Do(func() { c.rep.inflight.Add(-1) })
+	return c.cur.Close()
+}
+
+// TakeRetryStats implements algebra.RetryReporter by draining every
+// replica's transport counters.
+func (r *Replicated) TakeRetryStats() (retries, redials int) {
+	for _, rep := range r.reps {
+		if rr, ok := rep.src.(algebra.RetryReporter); ok {
+			re, rd := rr.TakeRetryStats()
+			retries += re
+			redials += rd
+		}
+	}
+	return
+}
+
+// SourceState implements algebra.StateReporter with a replica census,
+// e.g. "2/3 replicas closed".
+func (r *Replicated) SourceState() string {
+	up := 0
+	for _, rep := range r.reps {
+		if rep.br.ready() {
+			up++
+		}
+	}
+	return fmt.Sprintf("%d/%d replicas closed", up, len(r.reps))
+}
+
+// ReplicaHealth is one replica's routing state as reported by Health.
+type ReplicaHealth struct {
+	ID       int    // replica index within the logical source
+	Addr     string // wrapper address, when the replica transport knows it
+	State    string // "closed", "open" or "half-open"
+	Failures int    // consecutive transport failures
+	Inflight int64  // calls and open streams currently routed to it
+	Served   int64  // attempts routed to it since construction
+	LastErr  string // most recent transport failure, if any
+}
+
+// addrReporter is the optional transport accessor (wire.Client has it).
+type addrReporter interface{ Addr() string }
+
+// Health snapshots every replica's breaker and load state.
+func (r *Replicated) Health() []ReplicaHealth {
+	out := make([]ReplicaHealth, 0, len(r.reps))
+	for _, rep := range r.reps {
+		h := ReplicaHealth{
+			ID:       rep.id,
+			Inflight: rep.inflight.Load(),
+			Served:   rep.served.Load(),
+		}
+		if ar, ok := rep.src.(addrReporter); ok {
+			h.Addr = ar.Addr()
+		}
+		rep.br.mu.Lock()
+		switch rep.br.state {
+		case stOpen:
+			h.State = "open"
+		case stHalfOpen:
+			h.State = "half-open"
+		default:
+			h.State = "closed"
+		}
+		h.Failures = rep.br.fails
+		if rep.br.lastErr != nil {
+			h.LastErr = rep.br.lastErr.Error()
+		}
+		rep.br.mu.Unlock()
+		out = append(out, h)
+	}
+	return out
+}

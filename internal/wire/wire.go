@@ -72,6 +72,21 @@ const DefaultWriteTimeout = 30 * time.Second
 // the parallel execution engine issues overlapping requests.
 const DefaultMaxConns = 8
 
+// DefaultMaxServerConns bounds the connections one Server handles
+// concurrently. Each accepted connection pins a handler goroutine for its
+// lifetime, so without a bound one misbehaving client (or a mediator fleet
+// sized beyond the wrapper) can exhaust the process; excess connections are
+// refused with a structured <error> frame instead of being accepted and
+// starved.
+const DefaultMaxServerConns = 256
+
+// ErrServerBusy is the message a server at its connection cap answers new
+// connections with (as a RemoteError on the client side) before closing
+// them. Clients treat RemoteError as proof of life — the refusal does not
+// count against retry budgets or circuit breakers; a replica router routes
+// around the busy wrapper instead.
+const ErrServerBusy = "wrapper busy: connection limit reached"
+
 // DefaultMaxConnIdle bounds how long a pooled connection may sit parked
 // before the client drops it instead of reusing it. Servers disconnect
 // idle clients (DefaultIdleTimeout), so a conn parked longer than the
@@ -252,23 +267,75 @@ type Server struct {
 	ln    net.Listener
 	idle  time.Duration
 	write time.Duration
+	slots chan struct{} // one token per inflight connection handler
 	wg    sync.WaitGroup
 	mu    sync.Mutex
 	err   error
+
+	// refused counts connections turned away at the cap (observability for
+	// tests and load experiments).
+	refused atomic.Int64
+}
+
+// ServeOptions configure ServeOpts. The zero value gives the defaults of
+// Serve: DefaultIdleTimeout, DefaultWriteTimeout, DefaultMaxServerConns.
+type ServeOptions struct {
+	// IdleTimeout bounds the wait for the next request on a connection;
+	// negative disables the deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds sending one response frame; negative disables.
+	WriteTimeout time.Duration
+	// MaxConns bounds concurrently handled connections (0 =
+	// DefaultMaxServerConns, negative = no bound). A connection beyond the
+	// cap is answered with one <error> frame (ErrServerBusy) and closed —
+	// refused cleanly rather than accepted and starved, so a client sees a
+	// structured refusal instead of a hang.
+	MaxConns int
 }
 
 // Serve starts serving on the listener with the default idle and write
 // deadlines and returns immediately; call Close to stop. Each connection
 // handles a sequence of requests.
 func Serve(ln net.Listener, exp Exported) *Server {
-	return ServeWith(ln, exp, DefaultIdleTimeout, DefaultWriteTimeout)
+	return ServeOpts(ln, exp, ServeOptions{})
 }
 
 // ServeWith is Serve with explicit connection deadlines: idle bounds the
 // wait for the next request on a connection, write bounds sending one
 // response. A zero duration disables the corresponding deadline.
 func ServeWith(ln net.Listener, exp Exported, idle, write time.Duration) *Server {
+	opts := ServeOptions{IdleTimeout: idle, WriteTimeout: write}
+	if idle == 0 {
+		opts.IdleTimeout = -1
+	}
+	if write == 0 {
+		opts.WriteTimeout = -1
+	}
+	return ServeOpts(ln, exp, opts)
+}
+
+// ServeOpts is the fully configurable Serve.
+func ServeOpts(ln net.Listener, exp Exported, opts ServeOptions) *Server {
+	idle := opts.IdleTimeout
+	if idle == 0 {
+		idle = DefaultIdleTimeout
+	} else if idle < 0 {
+		idle = 0
+	}
+	write := opts.WriteTimeout
+	if write == 0 {
+		write = DefaultWriteTimeout
+	} else if write < 0 {
+		write = 0
+	}
+	maxConns := opts.MaxConns
+	if maxConns == 0 {
+		maxConns = DefaultMaxServerConns
+	}
 	s := &Server{Exp: exp, ln: ln, idle: idle, write: write}
+	if maxConns > 0 {
+		s.slots = make(chan struct{}, maxConns)
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -277,16 +344,46 @@ func ServeWith(ln net.Listener, exp Exported, idle, write time.Duration) *Server
 			if err != nil {
 				return // listener closed
 			}
+			if s.slots != nil {
+				select {
+				case s.slots <- struct{}{}:
+				default:
+					// At the cap: refuse with a structured frame instead of
+					// pinning another handler goroutine. The writer goroutine
+					// is bounded by the write deadline, not by client
+					// behaviour.
+					s.refused.Add(1)
+					s.wg.Add(1)
+					go func() {
+						defer s.wg.Done()
+						defer conn.Close()
+						if s.write > 0 {
+							conn.SetWriteDeadline(time.Now().Add(s.write))
+						}
+						_ = WriteFrame(conn, errorXML("%s", ErrServerBusy))
+					}()
+					continue
+				}
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
+				defer func() {
+					if s.slots != nil {
+						<-s.slots
+					}
+				}()
 				s.handle(conn)
 			}()
 		}
 	}()
 	return s
 }
+
+// Refused reports how many connections the server turned away at its
+// connection cap.
+func (s *Server) Refused() int64 { return s.refused.Load() }
 
 // Close stops the server and waits for in-flight connections.
 func (s *Server) Close() {
@@ -962,6 +1059,10 @@ func (c *Client) roundTripCtx(ctx context.Context, req string) (*data.Node, erro
 
 // Name implements algebra.Source.
 func (c *Client) Name() string { return c.name }
+
+// Addr reports the wrapper address the client dials — replica routing and
+// deployment tooling use it to label otherwise same-named replicas.
+func (c *Client) Addr() string { return c.addr }
 
 // Documents implements algebra.Source.
 func (c *Client) Documents() []string { return append([]string(nil), c.docs...) }

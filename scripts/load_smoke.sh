@@ -1,0 +1,112 @@
+#!/bin/sh
+# load_smoke.sh — end-to-end multi-tenant load smoke test.
+#
+# Stands up the real replicated deployment as separate processes:
+#
+#   o2-wrapper x2 (replicas of one logical source) + xmlwais-wrapper
+#       -> yat-mediator -serve (front door, replicated connect)
+#       -> yat-loadgen (concurrent closed-loop sessions over HTTP)
+#
+# and asserts the run completes with zero transport/execution errors, a
+# bounded p99 and a minimum completed-query count. The JSON report lands in
+# BENCH_PR9.json (CI uploads it as an artifact).
+#
+# Tunables (environment):
+#   LOADGEN_SESSIONS  concurrent sessions        (default 200)
+#   LOADGEN_DURATION  run length                 (default 5s)
+#   LOADGEN_P99_MS    p99 latency bound in ms    (default 2000)
+#   LOADGEN_MIN_Q     minimum completed queries  (default 200)
+#   LOADGEN_OUT       report path                (default BENCH_PR9.json)
+#
+# Requires only the go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SESSIONS="${LOADGEN_SESSIONS:-200}"
+DURATION="${LOADGEN_DURATION:-5s}"
+P99_MS="${LOADGEN_P99_MS:-2000}"
+MIN_Q="${LOADGEN_MIN_Q:-200}"
+OUT="${LOADGEN_OUT:-BENCH_PR9.json}"
+
+WORK="$(mktemp -d)"
+O2A_PORT=17186
+O2B_PORT=17187
+WAIS_PORT=17180
+DOOR_PORT=17190
+PIDS=""
+
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building binaries"
+go build -o "$WORK/o2-wrapper" ./cmd/o2-wrapper
+go build -o "$WORK/xmlwais-wrapper" ./cmd/xmlwais-wrapper
+go build -o "$WORK/yat-mediator" ./cmd/yat-mediator
+go build -o "$WORK/yat-loadgen" ./cmd/yat-loadgen
+
+echo "load-smoke: starting 2 o2 replicas + 1 wais wrapper"
+"$WORK/o2-wrapper" -port $O2A_PORT >"$WORK/o2a.log" 2>&1 &
+PIDS="$PIDS $!"
+"$WORK/o2-wrapper" -port $O2B_PORT >"$WORK/o2b.log" 2>&1 &
+PIDS="$PIDS $!"
+"$WORK/xmlwais-wrapper" -port $WAIS_PORT >"$WORK/wais.log" 2>&1 &
+PIDS="$PIDS $!"
+
+i=0
+until grep -q "is running at" "$WORK/o2a.log" 2>/dev/null &&
+      grep -q "is running at" "$WORK/o2b.log" 2>/dev/null &&
+      grep -q "is running at" "$WORK/wais.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: FAIL — wrappers did not come up" >&2
+        cat "$WORK/o2a.log" "$WORK/o2b.log" "$WORK/wais.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+cat >"$WORK/session.txt" <<EOF
+connect o2artifact 127.0.0.1:$O2A_PORT,127.0.0.1:$O2B_PORT
+connect xmlartwork 127.0.0.1:$WAIS_PORT
+load view1.yat
+assume artifacts works \$y > 1800
+assume persons works \$y > 1800
+replicas
+EOF
+
+echo "load-smoke: starting the mediator front door on :$DOOR_PORT"
+"$WORK/yat-mediator" -script "$WORK/session.txt" -serve 127.0.0.1:$DOOR_PORT \
+    -parallel 2 -cache 256 -tenant-concurrency 16 -tenant-queue 128 \
+    -tenant-queue-timeout 20s >"$WORK/mediator.log" 2>&1 &
+PIDS="$PIDS $!"
+
+i=0
+until grep -q "front door is running at" "$WORK/mediator.log" 2>/dev/null &&
+      grep -q "connected o2artifact across 2 replicas" "$WORK/mediator.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: FAIL — front door did not come up" >&2
+        cat "$WORK/mediator.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "load-smoke: driving $SESSIONS sessions for $DURATION"
+"$WORK/yat-loadgen" -addr 127.0.0.1:$DOOR_PORT \
+    -sessions "$SESSIONS" -duration "$DURATION" -tenants 8 \
+    -out "$OUT" -assert-no-errors -assert-p99-ms "$P99_MS" -assert-min-queries "$MIN_Q"
+
+# The console must have reported the replica set connected and healthy
+# (post-load distribution across replicas is pinned by the route tests).
+if ! grep -q "2/2 replicas closed" "$WORK/mediator.log"; then
+    echo "load-smoke: FAIL — replicas not reported healthy" >&2
+    cat "$WORK/mediator.log" >&2
+    exit 1
+fi
+
+echo "load-smoke: OK"
