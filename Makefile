@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test lint bench bench-smoke bench-json fault-matrix profile-smoke typecheck-smoke stream-smoke load-smoke bench-trace fuzz-short
+.PHONY: check build vet test lint bench bench-smoke bench-json feed-bench-json fault-matrix profile-smoke typecheck-smoke stream-smoke load-smoke feed-smoke bench-trace fuzz-short
 
-check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke stream-smoke load-smoke
+check: build vet test lint fuzz-short fault-matrix bench-smoke profile-smoke typecheck-smoke stream-smoke load-smoke feed-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ fault-matrix:
 bench-json:
 	$(GO) run ./cmd/yat-experiments -quick -bench-json BENCH_PR8.json
 
+# Machine-readable E23 feed-family measurements: cold bulk ingest (rows/s),
+# warm fetch-by-id against the sealed indexes, the three-family union over
+# wire, and the ingest memory sweep whose decode-pipeline live-heap peak
+# must stay flat across a 10× corpus growth.
+feed-bench-json:
+	$(GO) run ./cmd/yat-experiments -quick -feed-bench-json BENCH_PR10.json
+
 # End-to-end streaming smoke: a large-n Q2 against out-of-process wrappers
 # under live-heap and first-row-latency assertions, then the `stream`
 # console command on the real three-process deployment. See
@@ -72,6 +79,13 @@ typecheck-smoke:
 # scripts/load_smoke.sh.
 load-smoke:
 	./scripts/load_smoke.sh
+
+# End-to-end bulk-feed smoke: feed-wrapper writes its zipped corpus, serves
+# it after a quarantining streaming ingest, and the mediator console runs a
+# query whose supported predicate is pushed (SourceQuery) while the
+# unsupported one stays mediator-side. See scripts/feed_smoke.sh.
+feed-smoke:
+	./scripts/feed_smoke.sh
 
 # Tracing-overhead benchmark: Fig. 9 Q2 batched with ExecOptions.Trace off
 # vs. on (one iteration in CI; run without -benchtime for real numbers).

@@ -1,0 +1,124 @@
+// Command feed-wrapper is the bulk-feed wrapper of the third family: it
+// ingests a newline-delimited (`.ndxml`) or zipped (`.xml.zip`) XML metadata
+// dump through the streaming pipeline — normalizing, validating and
+// quarantining record by record — and serves the indexed store over the YAT
+// wire protocol under the restricted filter-by-field / fetch-by-id
+// capability profile.
+//
+// Usage:
+//
+//	feed-wrapper -port 7070 -dump corpus.ndxml [-metrics-addr HOST:PORT]
+//	feed-wrapper -port 7070 -records 10000 [-seed 42] [-malformed-pct 4]
+//	feed-wrapper -write-dump corpus.ndxml -records 10000 [-seed 42] [-malformed-pct 4]
+//
+// The second form generates the deterministic datagen corpus in memory; the
+// third writes it to disk (`.zip` extension selects the archive format) and
+// exits, which is how the smoke scripts produce fixtures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/feed"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func main() {
+	port := flag.Int("port", 7070, "TCP port to listen on")
+	dump := flag.String("dump", "", "dump file to ingest (.ndxml or .zip)")
+	records := flag.Int("records", 0, "generate a corpus of this many records instead of reading -dump")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	malformedPct := flag.Int("malformed-pct", 4, "percentage of deliberately malformed corpus records")
+	writeDump := flag.String("write-dump", "", "write the generated corpus to this path and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address")
+	flag.Parse()
+
+	if *writeDump != "" {
+		if *records <= 0 {
+			fail(fmt.Errorf("-write-dump needs -records"))
+		}
+		c := datagen.GenerateFeed(datagen.FeedParams{Records: *records, MalformedPct: *malformedPct, Seed: *seed})
+		f, err := os.Create(*writeDump)
+		if err != nil {
+			fail(err)
+		}
+		if strings.HasSuffix(*writeDump, ".zip") {
+			err = c.WriteZip(f, 4)
+		} else {
+			err = c.WriteNDXML(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf(" wrote %d lines (%d valid records) to %s\n", len(c.Lines), len(c.Records), *writeDump)
+		return
+	}
+
+	s := feed.NewStore()
+	switch {
+	case *dump != "":
+		r, err := feed.OpenDump(*dump)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := s.Ingest(r); err != nil {
+			fail(fmt.Errorf("ingest %s: %w", *dump, err))
+		}
+	case *records > 0:
+		c := datagen.GenerateFeed(datagen.FeedParams{Records: *records, MalformedPct: *malformedPct, Seed: *seed})
+		var sb strings.Builder
+		if err := c.WriteNDXML(&sb); err != nil {
+			fail(err)
+		}
+		if _, err := s.Ingest(feed.NewNDXML(strings.NewReader(sb.String()), "generated")); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("one of -dump or -records is required"))
+	}
+	w := feed.New("bulkfeed", s)
+
+	ln, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
+	if err != nil {
+		fail(err)
+	}
+	exp := wire.Exported{
+		Source:    w,
+		Interface: w.ExportInterface(),
+		Structures: map[string]wire.StructureRef{
+			"records": {Model: w.ExportStructure(), Pattern: "Records"},
+		},
+	}
+	if *metricsAddr != "" {
+		exp.Obs = obs.NewObserver(nil)
+		plane, err := obs.Serve(*metricsAddr, exp.Obs.Reg)
+		if err != nil {
+			fail(fmt.Errorf("-metrics-addr: %w", err))
+		}
+		defer plane.Close()
+		fmt.Printf(" metrics and pprof at http://%s/\n", plane.Addr)
+	}
+	srv := wire.Serve(ln, exp)
+	st := s.Stats()
+	host, _ := os.Hostname()
+	// The bound port is reported (not the flag value) so -port 0 gives
+	// scripts an ephemeral port they can parse from this line.
+	fmt.Printf(" feed-wrapper is running at %s:%d (source bulkfeed: %d records ingested, %d quarantined)\n",
+		host, ln.Addr().(*net.TCPAddr).Port, st.Ingested, st.Quarantined)
+	defer srv.Close()
+	select {} // serve until killed
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "feed-wrapper: %v\n", err)
+	os.Exit(1)
+}

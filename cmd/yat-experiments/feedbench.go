@@ -1,0 +1,316 @@
+// The E23 feed-family benchmarks (-feed-bench-json): cold bulk ingest,
+// warm fetch-by-id pushes against the sealed indexes, the three-family
+// union over live wire connections, and the ingest memory sweep — a 10×
+// corpus growth over which the streaming decode pipeline's live-heap peak
+// must stay flat (the reader holds one chunk window, never the dump).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/feed"
+	"repro/internal/filter"
+	"repro/internal/mediator"
+	"repro/internal/o2wrap"
+	"repro/internal/tab"
+	"repro/internal/waiswrap"
+	"repro/internal/wire"
+)
+
+// feedBenchRecord is one -feed-bench-json measurement.
+type feedBenchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Rows        int     `json:"rows"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+	Quarantined int     `json:"quarantined,omitempty"`
+	PeakAlloc   int64   `json:"peak_alloc_bytes,omitempty"`
+}
+
+// feedSweepRecord is one point of the ingest memory sweep. StreamPeak is
+// the live-heap high-water mark of a drain-only pass through the decode
+// pipeline (records decoded, normalized and dropped): it must not grow
+// with the corpus. IngestPeak retains the store, so it grows linearly —
+// reported to make the contrast visible in the artifact.
+type feedSweepRecord struct {
+	Records    int     `json:"records"`
+	Ingested   int     `json:"ingested"`
+	Quarantine int     `json:"quarantined"`
+	IngestNs   int64   `json:"ingest_ns"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	StreamPeak int64   `json:"stream_peak_bytes"`
+	IngestPeak int64   `json:"ingest_peak_bytes"`
+}
+
+// ndxmlReader renders the corpus once and returns a fresh dump reader over
+// it. The rendered string is allocated before the caller samples its heap
+// baseline, so only the pipeline's own window counts against the peak.
+func ndxmlReader(c *datagen.FeedCorpus) (feed.Reader, error) {
+	var sb strings.Builder
+	if err := c.WriteNDXML(&sb); err != nil {
+		return nil, err
+	}
+	return feed.NewNDXML(strings.NewReader(sb.String()), "bench.ndxml"), nil
+}
+
+// deployThreeFamilies connects o2artifact, xmlartwork and bulkfeed to one
+// mediator over real TCP and returns it with a teardown function.
+func deployThreeFamilies(n int) (*mediator.Mediator, func(), error) {
+	w := datagen.Generate(datagen.DefaultParams(n))
+	ow := o2wrap.New("o2artifact", w.DB)
+	schema := ow.ExportSchema()
+	ww := waiswrap.New("xmlartwork", datagen.NewWaisEngine(w.Works))
+	fw := feed.New("bulkfeed", datagen.NewFeedStore(datagen.GenerateFeed(datagen.DefaultFeedParams(n))))
+	exps := []wire.Exported{
+		{Source: ow, Interface: ow.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"artifacts": {Model: schema, Pattern: "Artifact"},
+				"persons":   {Model: schema, Pattern: "Person"},
+			}},
+		{Source: ww, Interface: ww.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"works": {Model: ww.ExportStructure(), Pattern: "Works"},
+			}},
+		{Source: fw, Interface: fw.ExportInterface(),
+			Structures: map[string]wire.StructureRef{
+				"records": {Model: fw.ExportStructure(), Pattern: "Records"},
+			}},
+	}
+	m := mediator.New()
+	var closers []func()
+	teardown := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	for _, exp := range exps {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		srv := wire.Serve(ln, exp)
+		closers = append(closers, srv.Close)
+		c, err := wire.Dial(srv.Addr())
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { c.Close() })
+		iface, err := c.ImportInterface()
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		if err := m.Connect(c, iface); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		sts, err := c.ImportStructures()
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		for doc, ref := range sts {
+			m.ImportStructure(doc, ref.Model, ref.Pattern)
+		}
+	}
+	m.RegisterFunc("contains", waiswrap.Contains)
+	m.RegisterFunc("prefix", feed.Prefix)
+	return m, teardown, nil
+}
+
+// threeFamilyTitles is one title branch per wrapper family.
+func threeFamilyTitles() algebra.Op {
+	return &algebra.Union{
+		L: &algebra.Union{
+			L: &algebra.Bind{Doc: "artifacts",
+				F: filter.MustParse(`set[ *class[ artifact.tuple[ title: $t ] ] ]`)},
+			R: &algebra.Bind{Doc: "works",
+				F: filter.MustParse(`works[ *work[ title: $t ] ]`)},
+		},
+		R: &algebra.Bind{Doc: "records",
+			F: filter.MustParse(`records[ *record[ title: $t ] ]`)},
+	}
+}
+
+// feedBenchJSON measures the feed family and writes the E23 CI artifact
+// (BENCH_PR10.json): cold ingest, warm fetch-by-id, the three-family
+// union, and the ingest memory sweep.
+func feedBenchJSON(path string, n int, sweep []int) error {
+	corpus := datagen.GenerateFeed(datagen.DefaultFeedParams(n))
+	var records []feedBenchRecord
+
+	// Cold ingest: dump reader → decode → normalize → store, one pass.
+	r, err := ndxmlReader(corpus)
+	if err != nil {
+		return err
+	}
+	store := feed.NewStore()
+	start := time.Now()
+	stats, err := store.Ingest(r)
+	if err != nil {
+		return fmt.Errorf("feed_cold_ingest: %w", err)
+	}
+	d := time.Since(start)
+	if stats.Ingested != len(corpus.Records) {
+		return fmt.Errorf("feed_cold_ingest: ingested %d, ground truth %d", stats.Ingested, len(corpus.Records))
+	}
+	records = append(records, feedBenchRecord{
+		Name:        "feed_cold_ingest",
+		NsPerOp:     d.Nanoseconds(),
+		Rows:        stats.Ingested,
+		RowsPerSec:  float64(len(corpus.Lines)) / d.Seconds(),
+		Quarantined: stats.Quarantined,
+	})
+
+	// Warm fetch-by-id: a parameterized equality on the unique id index,
+	// the plan compiled per push exactly as the wire server would.
+	w := feed.New("bulkfeed", store)
+	fetchPlan := &algebra.Select{
+		From: &algebra.Bind{Doc: "records",
+			F: filter.MustParse(`records[ *record[ id: $id, title: $t ] ]`)},
+		Pred: algebra.MustParseExpr(`$id = $k`),
+	}
+	ops := len(corpus.Records)
+	if ops > 2000 {
+		ops = 2000
+	}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		rec := corpus.Records[i%len(corpus.Records)]
+		res, err := w.Push(fetchPlan, map[string]tab.Cell{"$k": tab.AtomCell(data.String(rec.ID))})
+		if err != nil {
+			return fmt.Errorf("feed_warm_fetch_by_id: %w", err)
+		}
+		if res.Len() != 1 {
+			return fmt.Errorf("feed_warm_fetch_by_id: id %s returned %d rows", rec.ID, res.Len())
+		}
+	}
+	d = time.Since(start)
+	records = append(records, feedBenchRecord{
+		Name:       "feed_warm_fetch_by_id",
+		NsPerOp:    d.Nanoseconds() / int64(ops),
+		Rows:       ops,
+		RowsPerSec: float64(ops) / d.Seconds(),
+	})
+
+	// Three-family union over live wire connections, serial and parallel.
+	m, teardown, err := deployThreeFamilies(n / 4)
+	if err != nil {
+		return err
+	}
+	defer teardown()
+	var unionRows int
+	for _, v := range []struct {
+		name string
+		opts mediator.ExecOptions
+	}{
+		{"feed_union3_serial", mediator.ExecOptions{Parallelism: 1}},
+		{"feed_union3_parallel4", mediator.ExecOptions{Parallelism: 4, Timeout: time.Minute}},
+	} {
+		res, d, err := med(func() (*mediator.Result, error) {
+			return m.ExecutePlan(context.Background(), threeFamilyTitles(), v.opts)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		if unionRows == 0 {
+			unionRows = res.Tab.Len()
+		} else if res.Tab.Len() != unionRows {
+			return fmt.Errorf("%s: %d rows, serial run had %d", v.name, res.Tab.Len(), unionRows)
+		}
+		records = append(records, feedBenchRecord{
+			Name:    v.name,
+			NsPerOp: d.Nanoseconds(),
+			Rows:    res.Tab.Len(),
+		})
+	}
+
+	// The ingest memory sweep: at every corpus size, a drain-only pass
+	// through the decode pipeline (nothing retained) and a full store
+	// ingest. The drain peak is the pipeline's working set — one chunk
+	// window — and must stay flat across the 10× growth.
+	var points []feedSweepRecord
+	for _, size := range sweep {
+		c := datagen.GenerateFeed(datagen.DefaultFeedParams(size))
+
+		r, err := ndxmlReader(c)
+		if err != nil {
+			return err
+		}
+		sampler := startLiveSampler(10 * time.Millisecond)
+		cur := feed.NewIngestCursor(r, tab.DefaultStreamChunk)
+		for {
+			if _, err := cur.Next(); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return fmt.Errorf("sweep %d drain: %w", size, err)
+			}
+		}
+		cur.Close()
+		streamPeak := sampler.stopPeak()
+
+		r, err = ndxmlReader(c)
+		if err != nil {
+			return err
+		}
+		s := feed.NewStore()
+		sampler = startLiveSampler(10 * time.Millisecond)
+		start := time.Now()
+		stats, err := s.Ingest(r)
+		if err != nil {
+			return fmt.Errorf("sweep %d ingest: %w", size, err)
+		}
+		d := time.Since(start)
+		ingestPeak := sampler.stopPeak()
+		if stats.Ingested != len(c.Records) {
+			return fmt.Errorf("sweep %d: ingested %d, ground truth %d", size, stats.Ingested, len(c.Records))
+		}
+		points = append(points, feedSweepRecord{
+			Records:    size,
+			Ingested:   stats.Ingested,
+			Quarantine: stats.Quarantined,
+			IngestNs:   d.Nanoseconds(),
+			RowsPerSec: float64(len(c.Lines)) / d.Seconds(),
+			StreamPeak: streamPeak,
+			IngestPeak: ingestPeak,
+		})
+	}
+	// The flatness check, at the largest sweep point where sampling noise
+	// matters least: the drain-only pipeline holds one chunk window, so its
+	// peak (mostly allocate-black float from the concurrent mark) must stay
+	// well under the store ingest's, which retains every record. If the
+	// pipeline ever started retaining the dump the two would converge.
+	if last := points[len(points)-1]; last.IngestPeak > 0 && last.StreamPeak*2 >= last.IngestPeak {
+		return fmt.Errorf("sweep %d: decode pipeline live-heap peak %d is not well under the retaining ingest's %d — the pipeline is holding on to the corpus",
+			last.Records, last.StreamPeak, last.IngestPeak)
+	}
+
+	out, err := json.MarshalIndent(map[string]any{
+		"experiment":   "e23_feed_ingest_and_union",
+		"records":      n,
+		"results":      records,
+		"ingest_sweep": points,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d variants, records=%d, %d sweep points)\n", path, len(records), n, len(points))
+	return nil
+}

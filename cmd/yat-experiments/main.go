@@ -51,11 +51,23 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes, fewer repetitions")
 	benchOut := flag.String("bench-json", "", "write Fig. 9 Q2 benchmark results as JSON to this file and exit")
+	feedBenchOut := flag.String("feed-bench-json", "", "write the E23 feed-family benchmark results as JSON to this file and exit")
 	streamSmoke := flag.Bool("stream-smoke", false, "assert the streaming engine's memory/latency/identity promises on a large-n Q2 and exit")
 	wrappersDir := flag.String("wrappers", "", "directory with prebuilt o2-wrapper and xmlwais-wrapper binaries for out-of-process memory measurements (empty: build them once with the local toolchain)")
 	flag.Parse()
 	if *streamSmoke {
 		if err := runStreamSmoke(*wrappersDir); err != nil {
+			fmt.Fprintf(os.Stderr, "yat-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *feedBenchOut != "" {
+		n, sweep := 10000, []int{2000, 6000, 20000}
+		if *quick {
+			n, sweep = 2000, []int{400, 1200, 4000}
+		}
+		if err := feedBenchJSON(*feedBenchOut, n, sweep); err != nil {
 			fmt.Fprintf(os.Stderr, "yat-experiments: %v\n", err)
 			os.Exit(1)
 		}

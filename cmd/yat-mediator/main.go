@@ -110,6 +110,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/faults"
+	"repro/internal/feed"
 	"repro/internal/frontdoor"
 	"repro/internal/mediator"
 	"repro/internal/obs"
@@ -204,6 +205,7 @@ func main() {
 	m := mediator.New()
 	m.CheckInvariants = *lint
 	m.RegisterFunc("contains", waiswrap.Contains)
+	m.RegisterFunc("prefix", feed.Prefix)
 	if sess.metrics != nil {
 		m.SetMetrics(sess.metrics)
 	}
@@ -445,7 +447,19 @@ func connect(m *mediator.Mediator, clients map[string][]*wire.Client, routes map
 	}
 	iface, err := cs[0].ImportInterface()
 	if err != nil {
-		iface = nil // sources without capability descriptions still work (fetch-only)
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			// The source exports no interface at all: fetch-only is a
+			// legitimate profile and the mediator plans around it.
+			iface = nil
+		} else {
+			// A malformed description is a wrapper bug; connecting anyway
+			// would turn it into an opaque planning failure later.
+			for _, c := range cs {
+				c.Close()
+			}
+			return fmt.Errorf("connect %s: %w", name, err)
+		}
 	}
 	src := algebra.Source(cs[0])
 	if len(cs) > 1 {

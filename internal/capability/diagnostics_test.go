@@ -1,0 +1,68 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+)
+
+// Import diagnostics: a malformed description must fail the parse with an
+// error naming the interface and the offending element, so a bad wrapper
+// export is caught at connect time instead of surfacing as an opaque
+// planning failure later.
+func TestFromXMLNamesOffendingElement(t *testing.T) {
+	cases := []struct {
+		name, src string
+		want      []string // substrings the error must carry
+	}{
+		{"empty structure",
+			`<interface name="badsrc"><structure doc="records"><model>  </model></structure></interface>`,
+			[]string{`"badsrc"`, `<structure doc="records">`, "model text"}},
+		{"missing structure model",
+			`<interface name="badsrc"><structure doc="records"/></interface>`,
+			[]string{`"badsrc"`, `<structure doc="records">`}},
+		{"unparseable structure model",
+			`<interface name="badsrc"><structure doc="records"><model>model X :=</model></structure></interface>`,
+			[]string{`"badsrc"`, `<structure doc="records">`}},
+		{"operation without name",
+			`<interface name="badsrc"><operation kind="boolean"/></interface>`,
+			[]string{`"badsrc"`, "<operation>", "name"}},
+		{"operation without kind",
+			`<interface name="badsrc"><operation name="eq"/></interface>`,
+			[]string{`"badsrc"`, `<operation name="eq">`, "kind"}},
+		{"empty fpattern",
+			`<interface name="badsrc"><fmodel name="m"><fpattern name="F"></fpattern></fmodel></interface>`,
+			[]string{`"badsrc"`, `fmodel "m"`, `<fpattern "F">`}},
+		{"bindcap without doc",
+			`<interface name="badsrc"><bindcap fmodel="m" fpattern="F"/></interface>`,
+			[]string{`"badsrc"`, "<bindcap>"}},
+	}
+	for _, c := range cases {
+		_, err := Unmarshal(c.src)
+		if err == nil {
+			t.Errorf("%s: parse must fail", c.name)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q must mention %q", c.name, err, w)
+			}
+		}
+	}
+}
+
+// A well-formed interface still parses after the validation tightening.
+func TestFromXMLAcceptsWellFormed(t *testing.T) {
+	src := `<interface name="goodsrc">
+	  <fmodel name="m"><fpattern name="F"><node label="records" bind="none"/></fpattern></fmodel>
+	  <bindcap doc="records" fmodel="m" fpattern="F"/>
+	  <operation name="bind" kind="algebra"/>
+	  <operation name="eq" kind="boolean" docs="records"/>
+	</interface>`
+	i, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Name != "goodsrc" || !i.HasOperation("eq") {
+		t.Errorf("parsed interface lost content: %+v", i)
+	}
+}

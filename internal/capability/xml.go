@@ -268,12 +268,18 @@ func sigToXML(s Sig) *data.Node {
 	return n
 }
 
-// FromXML parses an interface description.
+// FromXML parses an interface description. Malformed elements fail here,
+// naming the interface and the offending element, so an import surfaces the
+// problem at connect time instead of as an opaque planning failure later.
 func FromXML(n *data.Node) (*Interface, error) {
 	if n == nil || n.Label != "interface" {
 		return nil, fmt.Errorf("capability: expected <interface>")
 	}
-	i := NewInterface(attr(n, "name"))
+	name := attr(n, "name")
+	where := func(elem string) string {
+		return fmt.Sprintf("capability: interface %q: %s", name, elem)
+	}
+	i := NewInterface(name)
 	for _, k := range n.Kids {
 		switch k.Label {
 		case "fmodel":
@@ -284,29 +290,38 @@ func FromXML(n *data.Node) (*Interface, error) {
 				}
 				body := firstElem(pe)
 				if body == nil {
-					return nil, fmt.Errorf("capability: empty <fpattern>")
+					return nil, fmt.Errorf("%s: empty <fpattern %q>", where(fmt.Sprintf("fmodel %q", attr(k, "name"))), attr(pe, "name"))
 				}
 				ft, err := FTFromXML(body)
 				if err != nil {
-					return nil, fmt.Errorf("fpattern %s: %w", attr(pe, "name"), err)
+					return nil, fmt.Errorf("%s: fpattern %q: %w", where(fmt.Sprintf("fmodel %q", attr(k, "name"))), attr(pe, "name"), err)
 				}
 				m.Define(attr(pe, "name"), ft)
 			}
 			i.FModels = append(i.FModels, m)
 		case "bindcap":
+			if attr(k, "doc") == "" {
+				return nil, fmt.Errorf("%s without doc attribute", where("<bindcap>"))
+			}
 			i.Binds[attr(k, "doc")] = BindCap{FModel: attr(k, "fmodel"), FPattern: attr(k, "fpattern")}
 		case "structure":
 			me := k.Child("model")
-			if me == nil || me.Atom == nil {
-				return nil, fmt.Errorf("capability: <structure> without model text")
+			if me == nil || me.Atom == nil || strings.TrimSpace(me.Atom.S) == "" {
+				return nil, fmt.Errorf("%s without model text", where(fmt.Sprintf("<structure doc=%q>", attr(k, "doc"))))
 			}
 			m, err := pattern.ParseModel(me.Atom.S)
 			if err != nil {
-				return nil, fmt.Errorf("structure %s: %w", attr(k, "doc"), err)
+				return nil, fmt.Errorf("%s: %w", where(fmt.Sprintf("<structure doc=%q>", attr(k, "doc"))), err)
 			}
 			i.Structures[attr(k, "doc")] = StructureRef{Model: m, Pattern: attr(k, "pattern")}
 		case "operation":
 			op := Operation{Name: attr(k, "name"), Kind: attr(k, "kind")}
+			if op.Name == "" {
+				return nil, fmt.Errorf("%s without name attribute", where("<operation>"))
+			}
+			if op.Kind == "" {
+				return nil, fmt.Errorf("%s without kind attribute", where(fmt.Sprintf("<operation name=%q>", op.Name)))
+			}
 			if ds := attr(k, "docs"); ds != "" {
 				op.Docs = strings.Fields(ds)
 			}

@@ -1,0 +1,192 @@
+package datagen
+
+import (
+	"archive/zip"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/feed"
+)
+
+// The bulk-feed corpus: deterministic newline-delimited XML metadata dumps
+// (and zip archives of them) for the third wrapper family. Sizes, seeds and
+// the malformed-record rate are parameters, and the generator returns the
+// ground truth the tests and experiments assert against — the surviving
+// records and the expected quarantine histogram.
+
+// FeedParams controls a generated metadata dump.
+type FeedParams struct {
+	Records int // total dump lines, valid and malformed together
+	// MalformedPct is the percentage of lines that are deliberately broken,
+	// cycling through the quarantine classes (undecodable XML, bad ISSN
+	// checksum, empty title, out-of-range year, duplicate id).
+	MalformedPct int
+	Seed         int64
+}
+
+// DefaultFeedParams returns the baseline feed corpus of EXPERIMENTS.md E23.
+func DefaultFeedParams(n int) FeedParams {
+	return FeedParams{Records: n, MalformedPct: 4, Seed: 42}
+}
+
+// FeedRecord is the ground truth of one valid dump record, in normalized
+// form (the canonical ISSN the store should hold after ingest).
+type FeedRecord struct {
+	ID, Title, ISSN, Journal, Publisher string
+	Year                                int
+}
+
+// FeedCorpus is a generated dump: the raw lines in dump order plus the
+// ground truth — the records that must survive ingest and the quarantine
+// reasons the malformed lines must be counted under.
+type FeedCorpus struct {
+	Lines   []string
+	Records []FeedRecord
+	// Malformed histograms the expected quarantine reasons, matching
+	// feed.Stats.Reasons after a clean ingest.
+	Malformed map[string]int
+}
+
+// Journal and publisher domains. The two "Journal of ..." entries give
+// prefix queries a selective, deterministic answer set.
+var (
+	feedJournals = []string{"Journal of Impressionism", "Journal of Modern Art",
+		"Revue des Beaux-Arts", "Annales du Louvre", "Gazette of Fine Arts"}
+	feedPublishers = []string{"Musee Press", "Atelier House", "Seine Editions", "Canvas & Co"}
+)
+
+// GenerateFeed builds a deterministic dump. Titles share the "Painting N"
+// namespace of the trading workload so three-family queries can meet on
+// them; ISSNs are minted valid (checksum included) and unique per record.
+func GenerateFeed(p FeedParams) *FeedCorpus {
+	r := newRng(p.Seed)
+	c := &FeedCorpus{Malformed: map[string]int{}}
+	kind := 0
+	for i := 0; i < p.Records; i++ {
+		rec := FeedRecord{
+			ID:        fmt.Sprintf("rec-%06d", i),
+			Title:     fmt.Sprintf("Painting %d", i),
+			ISSN:      mintISSN(i),
+			Journal:   feedJournals[r.intn(len(feedJournals))],
+			Publisher: feedPublishers[r.intn(len(feedPublishers))],
+			Year:      1800 + r.intn(220),
+		}
+		if r.pct(p.MalformedPct) {
+			dupID := ""
+			if len(c.Records) > 0 {
+				dupID = c.Records[0].ID
+			}
+			line, reason := breakRecord(rec, kind, dupID)
+			kind++
+			c.Lines = append(c.Lines, line)
+			c.Malformed[reason]++
+			continue
+		}
+		c.Lines = append(c.Lines, recordLine(rec))
+		c.Records = append(c.Records, rec)
+	}
+	return c
+}
+
+// mintISSN returns a distinct valid ISSN in canonical form for record i.
+func mintISSN(i int) string {
+	seven := fmt.Sprintf("%07d", 1000+i*7)
+	check, err := feed.ISSNCheckDigit(seven)
+	if err != nil {
+		panic(err)
+	}
+	return seven[:4] + "-" + seven[4:] + string(check)
+}
+
+var xmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+// recordLine renders a record as one dump line, escaping markup characters
+// in field values ("Canvas &amp; Co").
+func recordLine(r FeedRecord) string {
+	return fmt.Sprintf("<record><id>%s</id><title>%s</title><issn>%s</issn>"+
+		"<journal>%s</journal><year>%d</year><publisher>%s</publisher></record>",
+		xmlEscaper.Replace(r.ID), xmlEscaper.Replace(r.Title), r.ISSN,
+		xmlEscaper.Replace(r.Journal), r.Year, xmlEscaper.Replace(r.Publisher))
+}
+
+// breakRecord renders a deliberately malformed line for the record,
+// cycling through the quarantine classes, and returns the reason the
+// ingest pipeline must count it under. Duplicate ids collide with the
+// first valid record (dupID); before one exists that class falls back to
+// undecodable XML.
+func breakRecord(r FeedRecord, kind int, dupID string) (string, string) {
+	switch k := kind % 5; {
+	case k == 0 || (k == 4 && dupID == ""):
+		return "<record><id>" + r.ID + "</id><title>", "decode"
+	case k == 1:
+		r.ISSN = r.ISSN[:len(r.ISSN)-1] + "Z"
+		return recordLine(r), "issn"
+	case k == 2:
+		r.Title = "   "
+		return recordLine(r), "title"
+	case k == 3:
+		r.Year = 99
+		return recordLine(r), "year"
+	default: // k == 4: reuse the first valid id
+		r.ID = dupID
+		return recordLine(r), "duplicate-id"
+	}
+}
+
+// WriteNDXML writes the dump as newline-delimited XML.
+func (c *FeedCorpus) WriteNDXML(w io.Writer) error {
+	for _, l := range c.Lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteZip writes the dump as a zip archive of `entries` .ndxml members,
+// lines distributed round-trip-stable in contiguous runs. Headers carry no
+// timestamps, so the archive bytes are a pure function of the corpus.
+func (c *FeedCorpus) WriteZip(w io.Writer, entries int) error {
+	if entries < 1 {
+		entries = 1
+	}
+	zw := zip.NewWriter(w)
+	per := (len(c.Lines) + entries - 1) / entries
+	for e := 0; e < entries; e++ {
+		lo := e * per
+		if lo >= len(c.Lines) && e > 0 {
+			break
+		}
+		hi := lo + per
+		if hi > len(c.Lines) {
+			hi = len(c.Lines)
+		}
+		f, err := zw.CreateHeader(&zip.FileHeader{
+			Name: fmt.Sprintf("part-%03d.ndxml", e), Method: zip.Deflate})
+		if err != nil {
+			return err
+		}
+		for _, l := range c.Lines[lo:hi] {
+			if _, err := io.WriteString(f, l+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return zw.Close()
+}
+
+// NewFeedStore ingests the corpus into a fresh store, panicking on
+// transport errors (a generated corpus has none) — the fixture helper the
+// tests and benchmarks build wrappers from.
+func NewFeedStore(c *FeedCorpus) *feed.Store {
+	s := feed.NewStore()
+	var sb strings.Builder
+	if err := c.WriteNDXML(&sb); err != nil {
+		panic(err)
+	}
+	if _, err := s.Ingest(feed.NewNDXML(strings.NewReader(sb.String()), "corpus.ndxml")); err != nil {
+		panic(err)
+	}
+	return s
+}

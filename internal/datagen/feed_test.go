@@ -1,0 +1,58 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGenerateFeedDeterministic pins that the corpus — lines, ground truth
+// and archive bytes — is a pure function of its parameters.
+func TestGenerateFeedDeterministic(t *testing.T) {
+	p := FeedParams{Records: 250, MalformedPct: 8, Seed: 99}
+	a, b := GenerateFeed(p), GenerateFeed(p)
+	if len(a.Lines) != len(b.Lines) || len(a.Records) != len(b.Records) {
+		t.Fatalf("sizes differ: %d/%d lines, %d/%d records",
+			len(a.Lines), len(b.Lines), len(a.Records), len(b.Records))
+	}
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Fatalf("line %d differs", i)
+		}
+	}
+	var za, zb bytes.Buffer
+	if err := a.WriteZip(&za, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteZip(&zb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(za.Bytes(), zb.Bytes()) {
+		t.Error("zip archives differ across identical generations")
+	}
+	if other := GenerateFeed(FeedParams{Records: 250, MalformedPct: 8, Seed: 100}); len(other.Records) == len(a.Records) {
+		same := true
+		for i := range other.Records {
+			if other.Records[i] != a.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+// TestGenerateFeedCleanCorpus pins the malformed-rate knob at zero.
+func TestGenerateFeedCleanCorpus(t *testing.T) {
+	c := GenerateFeed(FeedParams{Records: 100, MalformedPct: 0, Seed: 1})
+	if len(c.Records) != 100 || len(c.Malformed) != 0 {
+		t.Fatalf("clean corpus: %d records, malformed %v", len(c.Records), c.Malformed)
+	}
+	for i, r := range c.Records {
+		if !strings.HasPrefix(r.ID, "rec-") || r.Year < 1800 || r.Year > 2100 {
+			t.Fatalf("record %d out of domain: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package feed
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/data"
+	"repro/internal/tab"
+)
+
+// IngestCursor bridges a dump Reader into the engine's chunk-pull cursor
+// contract: each Next decodes, normalizes and validates at most one chunk of
+// records, so the window of live dump data is one chunk regardless of dump
+// size. Malformed records (undecodable lines included) are quarantined into
+// the cursor's Stats as they are encountered — the stream never aborts on
+// bad input, only on transport errors.
+//
+// The cursor yields one column, "record", holding the normalized record
+// tree. Store.Ingest drains one; callers wanting a raw normalized stream
+// (benchmarks, future bulk loads) can drain it themselves.
+type IngestCursor struct {
+	r      Reader
+	chunk  int
+	stats  Stats
+	closed bool
+}
+
+// NewIngestCursor returns an ingest cursor over the reader, yielding chunks
+// of at most chunk records (DefaultStreamChunk when chunk < 1). Closing the
+// cursor closes the reader.
+func NewIngestCursor(r Reader, chunk int) *IngestCursor {
+	if chunk < 1 {
+		chunk = tab.DefaultStreamChunk
+	}
+	return &IngestCursor{r: r, chunk: chunk}
+}
+
+// Cols implements tab.Cursor.
+func (c *IngestCursor) Cols() []string { return []string{"record"} }
+
+// Next implements tab.Cursor: the next chunk of normalized records, io.EOF
+// once the dump is exhausted. Quarantined records are counted, never
+// yielded, and never end a chunk early on their own.
+func (c *IngestCursor) Next() (*tab.Tab, error) {
+	if c.closed {
+		return nil, io.EOF
+	}
+	out := tab.New("record")
+	for out.Len() < c.chunk {
+		n, err := c.r.Next()
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			if out.Len() > 0 {
+				return out, nil
+			}
+			return nil, io.EOF
+		default:
+			var mal *MalformedError
+			if errors.As(err, &mal) {
+				c.stats.quarantine("decode")
+				continue
+			}
+			return nil, err
+		}
+		rec, reason := normalizeRecord(n)
+		if reason != "" {
+			c.stats.quarantine(reason)
+			continue
+		}
+		out.AddRow(tab.Row{tab.TreeCell(rec)})
+	}
+	return out, nil
+}
+
+// Close implements tab.Cursor; idempotent, closes the reader.
+func (c *IngestCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.r.Close()
+}
+
+// Stats returns the quarantine counts accumulated so far. Records the
+// cursor has yielded are not counted as ingested here — that is the
+// consumer's call (Store.Ingest adds duplicate-id quarantines of its own).
+func (c *IngestCursor) Stats() Stats { return c.stats }
+
+// recordOf extracts the normalized record tree from a cursor row.
+func recordOf(row tab.Row) (*data.Node, bool) {
+	if len(row) != 1 {
+		return nil, false
+	}
+	a := row[0]
+	if a.Kind != tab.CTree || a.Tree == nil {
+		return nil, false
+	}
+	return a.Tree, true
+}

@@ -1,0 +1,471 @@
+package feed
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/capability"
+	"repro/internal/data"
+	"repro/internal/filter"
+	"repro/internal/pattern"
+	"repro/internal/tab"
+)
+
+// Wrapper serves one ingested store over the source interfaces: the records
+// document, the restricted capability profile (field-enumerating binds,
+// equality and prefix selections, nothing else) and pushed evaluation
+// answered from the field indexes. The store must be fully ingested before
+// the wrapper starts serving; reads are lock-free.
+type Wrapper struct {
+	S         *Store
+	SourceNme string
+}
+
+// New returns a wrapper over the store.
+func New(name string, s *Store) *Wrapper {
+	return &Wrapper{S: s, SourceNme: name}
+}
+
+// Name implements algebra.Source.
+func (w *Wrapper) Name() string { return w.SourceNme }
+
+// Documents implements algebra.Source: one bulk document.
+func (w *Wrapper) Documents() []string { return []string{"records"} }
+
+// Fetch implements algebra.Source: the whole feed under a records root —
+// the costly path the optimizer avoids when the filter can be pushed.
+func (w *Wrapper) Fetch(doc string) (data.Forest, error) {
+	if doc != "records" {
+		return nil, fmt.Errorf("feed: unknown document %q", doc)
+	}
+	root := data.Elem("records")
+	root.Kids = append(root.Kids, w.S.recs...)
+	return data.Forest{root}, nil
+}
+
+// ExportStructure returns the structural model of the normalized feed.
+func (w *Wrapper) ExportStructure() *pattern.Model {
+	return pattern.MustParseModel(`model Feed_Structure
+Records := records[ *&Record ]
+Record  := record[ id: String, title: String, issn: String, journal: String,
+                   year: Int, publisher: String ]`)
+}
+
+// ExportInterface declares the bulk-feed capability profile, deliberately
+// different from both existing families. Unlike o2 (full filters, joins,
+// all comparison operators) and wais (whole-document binds, contains only),
+// a feed source accepts field-enumerating binds — the filter may iterate
+// records, bind whole records, and bind or constrain ground-labelled atomic
+// fields — and exactly two predicates: equality (the indexed
+// filter-by-field / fetch-by-id lookups) and the external prefix operation.
+// No project, no join, no ordering comparisons: those stay mediator-side.
+func (w *Wrapper) ExportInterface() *capability.Interface {
+	i := capability.NewInterface(w.SourceNme)
+	fm := capability.NewFModel("feedfmodel")
+	fm.Define("Frecords", &capability.FT{
+		Kind: pattern.KNode, Label: "records",
+		Bind: capability.BindNone, Inst: capability.InstGround,
+		Items: []capability.FTItem{{Star: true, Inst: capability.InstNone,
+			F: &capability.FT{Kind: pattern.KRef, Name: "Frecord", Bind: capability.BindTree}}},
+	})
+	fm.Define("Frecord", &capability.FT{
+		Kind: pattern.KNode, Label: "record", Bind: capability.BindTree,
+		Items: []capability.FTItem{{Star: true, Inst: capability.InstAny,
+			F: &capability.FT{Kind: pattern.KRef, Name: "Ffield"}}},
+	})
+	// Fields must be named concretely (inst=ground) and cannot carry
+	// variables themselves; their single atomic child position takes a
+	// content variable or a constant, and navigation below it is refused.
+	fm.Define("Ffield", &capability.FT{
+		Kind: pattern.KNode, AnyLabel: true,
+		Bind: capability.BindNone, Inst: capability.InstGround,
+		Items: []capability.FTItem{{F: &capability.FT{Kind: pattern.KUnion,
+			Alts: []*capability.FT{{Kind: pattern.KInt}, {Kind: pattern.KString}}}}},
+	})
+	i.FModels = append(i.FModels, fm)
+	i.Binds["records"] = capability.BindCap{FModel: "feedfmodel", FPattern: "Frecords"}
+	i.Structures["records"] = capability.StructureRef{Model: w.ExportStructure(), Pattern: "Records"}
+	i.Operations = append(i.Operations,
+		capability.Operation{Name: "bind", Kind: "algebra",
+			Inputs: []capability.Sig{
+				{Model: "Feed_Structure", Pattern: "Records"},
+				{Model: "feedfmodel", Pattern: "Frecords", IsFilter: true},
+			},
+			Output: &capability.Sig{Model: "yat", Pattern: "Tab"}},
+		capability.Operation{Name: "select", Kind: "algebra", Docs: []string{"records"}},
+		capability.Operation{Name: "eq", Kind: "boolean", Docs: []string{"records"}},
+		capability.Operation{Name: "prefix", Kind: "external", Docs: []string{"records"},
+			Inputs: []capability.Sig{{Leaf: "String"}, {Leaf: "String"}},
+			Output: &capability.Sig{Leaf: "Bool"}},
+	)
+	return i
+}
+
+// Prefix is the external predicate's semantics: the first argument's text
+// starts with the second. The mediator registers it so prefix predicates
+// can also be evaluated mediator-side when they cannot be pushed.
+func Prefix(args []tab.Cell) (tab.Cell, error) {
+	if len(args) != 2 {
+		return tab.Null(), fmt.Errorf("prefix expects (value, string)")
+	}
+	p, ok := args[1].AsAtom()
+	if !ok || p.Kind != data.KindString {
+		return tab.Null(), fmt.Errorf("prefix expects a string prefix argument")
+	}
+	return tab.AtomCell(data.Bool(strings.HasPrefix(cellText(args[0]), p.S))), nil
+}
+
+// cellText is the text a predicate sees for a cell: the atom's text, or the
+// concatenated text content of a bound tree.
+func cellText(c tab.Cell) string {
+	if a, ok := c.AsAtom(); ok {
+		return a.Text()
+	}
+	var b strings.Builder
+	for _, n := range c.AsForest() {
+		b.WriteString(n.TextContent())
+	}
+	return b.String()
+}
+
+// pushedPred is one pushed conjunct in compiled form: eq or prefix, with
+// the operand expressions kept for per-row verification and — when one side
+// is a field variable and the other a ground value — the index lookup that
+// narrows the candidate records.
+type pushedPred struct {
+	prefix bool // prefix(l, r) rather than l = r
+	l, r   algebra.Expr
+	field  string // indexed field, "" when the predicate cannot use an index
+	key    string // ground comparand for the index lookup
+}
+
+// pushQuery is a compiled pushed plan: the bind filter, the field each
+// filter variable names (docVar maps to ""), the pushed predicates and the
+// projection steps to replay on the matched rows.
+type pushQuery struct {
+	f        *filter.Filter
+	varField map[string]string
+	preds    []pushedPred
+	projects [][]string
+	outCols  []string
+}
+
+// compilePush validates a pushed plan against the declared capability
+// shapes — Select*/Project* over Bind(records) with a field-enumerating
+// filter, predicates limited to eq and prefix over bound variables,
+// constants and DJoin parameters — and compiles it for evaluation.
+func (w *Wrapper) compilePush(plan algebra.Op, params map[string]tab.Cell) (*pushQuery, error) {
+	q := &pushQuery{outCols: plan.Columns()}
+	var walk func(op algebra.Op) error
+	walk = func(op algebra.Op) error {
+		// yat-lint:ignore intentionally partial: accepts exactly the declared capability shapes; the default refuses the push
+		switch x := op.(type) {
+		case *algebra.Project:
+			if err := walk(x.From); err != nil {
+				return err
+			}
+			q.projects = append(q.projects, x.Cols)
+			return nil
+		case *algebra.Select:
+			if err := walk(x.From); err != nil {
+				return err
+			}
+			for _, conj := range algebra.SplitConj(x.Pred) {
+				p, err := w.compilePred(q, conj, params)
+				if err != nil {
+					return err
+				}
+				q.preds = append(q.preds, p)
+			}
+			return nil
+		case *algebra.Bind:
+			if x.Doc != "records" || x.From != nil {
+				return fmt.Errorf("feed: only binds over records can be pushed")
+			}
+			vf, err := fieldVarsOf(x.F.Root)
+			if err != nil {
+				return err
+			}
+			q.f = x.F
+			q.varField = vf
+			return nil
+		default:
+			return fmt.Errorf("feed: operator %T cannot be pushed", op)
+		}
+	}
+	if err := walk(plan); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// compilePred compiles one conjunct: an equality comparison or a prefix
+// call. Operands must be variables (bound by the filter or arriving as
+// DJoin parameters) or constants; when a field variable meets a ground
+// value, the predicate is annotated for index lookup.
+func (w *Wrapper) compilePred(q *pushQuery, e algebra.Expr, params map[string]tab.Cell) (pushedPred, error) {
+	switch x := e.(type) {
+	case algebra.Cmp:
+		if x.Op != algebra.OpEq {
+			return pushedPred{}, fmt.Errorf("feed: only equality comparisons can be pushed, got %s", e)
+		}
+		p := pushedPred{l: x.L, r: x.R}
+		w.annotateIndex(q, &p, params)
+		return p, nil
+	case algebra.Call:
+		if x.Name != "prefix" || len(x.Args) != 2 {
+			return pushedPred{}, fmt.Errorf("feed: only prefix predicates can be pushed, got %s", e)
+		}
+		p := pushedPred{prefix: true, l: x.Args[0], r: x.Args[1]}
+		w.annotateIndex(q, &p, params)
+		return p, nil
+	default:
+		return pushedPred{}, fmt.Errorf("feed: predicate %s cannot be pushed", e)
+	}
+}
+
+// annotateIndex marks a predicate for index lookup when one operand is a
+// field-bound variable and the other resolves to a ground atom. Equality is
+// symmetric; prefix only indexes through its first argument.
+func (w *Wrapper) annotateIndex(q *pushQuery, p *pushedPred, params map[string]tab.Cell) {
+	try := func(fe, ge algebra.Expr) bool {
+		v, ok := fe.(algebra.Var)
+		if !ok {
+			return false
+		}
+		field, bound := q.varField[v.Name]
+		if !bound || field == "" || !w.S.Indexed(field) {
+			return false
+		}
+		key, ok := groundText(ge, q, params)
+		if !ok {
+			return false
+		}
+		p.field, p.key = field, key
+		return true
+	}
+	if try(p.l, p.r) {
+		return
+	}
+	if !p.prefix {
+		try(p.r, p.l)
+	}
+}
+
+// groundText resolves an expression to ground text: a constant, or a
+// variable answered by the DJoin parameters (a variable the filter binds is
+// not ground — it varies per row).
+func groundText(e algebra.Expr, q *pushQuery, params map[string]tab.Cell) (string, bool) {
+	switch x := e.(type) {
+	case algebra.Const:
+		return x.Atom.Text(), true
+	case algebra.Var:
+		if _, bound := q.varField[x.Name]; bound {
+			return "", false
+		}
+		if c, ok := params[x.Name]; ok {
+			if a, ok := c.AsAtom(); ok {
+				return a.Text(), true
+			}
+		}
+		return "", false
+	default:
+		return "", false
+	}
+}
+
+// fieldVarsOf validates the bind filter against the exported shape —
+// records[ *record(@$r)[ field: $v | field: const ... ] ] — and maps every
+// variable to the field it binds ("" for the record tree variable).
+func fieldVarsOf(root *filter.FNode) (map[string]string, error) {
+	if root.Label != "records" || root.Var != "" || root.LabelVar != "" {
+		return nil, fmt.Errorf("feed: filter must match the records root without binding it")
+	}
+	if len(root.Items) != 1 || !root.Items[0].Star {
+		return nil, fmt.Errorf("feed: filter must iterate records (*record[...])")
+	}
+	it := root.Items[0]
+	if it.CollectVar != "" {
+		return nil, fmt.Errorf("feed: collect-star push is not supported")
+	}
+	rec := it.F
+	if rec.Label != "record" || rec.LabelVar != "" {
+		return nil, fmt.Errorf("feed: only record elements can be iterated")
+	}
+	vars := map[string]string{}
+	if rec.Var != "" {
+		vars[rec.Var] = ""
+	}
+	for _, fi := range rec.Items {
+		if fi.Star || fi.Descend || fi.CollectVar != "" {
+			return nil, fmt.Errorf("feed: record fields must be enumerated concretely")
+		}
+		fn := fi.F
+		if fn.Label == "" || fn.AnyLabel || fn.LabelVar != "" || fn.Var != "" {
+			return nil, fmt.Errorf("feed: fields must be named concretely and not bound as trees")
+		}
+		if len(fn.Items) == 0 {
+			continue // bare existence requirement, nothing to bind
+		}
+		if len(fn.Items) != 1 || fn.Items[0].Star || fn.Items[0].F == nil {
+			return nil, fmt.Errorf("feed: field %s must constrain its content only", fn.Label)
+		}
+		content := fn.Items[0].F
+		if len(content.Items) > 0 || content.Label != "" {
+			return nil, fmt.Errorf("feed: navigation below field %s is not supported", fn.Label)
+		}
+		if content.Var != "" {
+			if prev, dup := vars[content.Var]; dup && prev != fn.Label {
+				return nil, fmt.Errorf("feed: variable %s bound to two fields", content.Var)
+			}
+			vars[content.Var] = fn.Label
+		}
+	}
+	return vars, nil
+}
+
+// candidates returns the record positions the pushed predicates allow,
+// intersecting one index lookup per annotated predicate; nil means every
+// record (a bare bind is a scan — still correct, just not narrowed).
+func (w *Wrapper) candidates(q *pushQuery) []int {
+	var ids []int
+	first := true
+	for i := range q.preds {
+		p := &q.preds[i]
+		if p.field == "" {
+			continue
+		}
+		var hit []int
+		if p.prefix {
+			hit = w.S.ByPrefix(p.field, p.key)
+		} else {
+			hit = w.S.ByField(p.field, p.key)
+		}
+		if first {
+			ids, first = hit, false
+			continue
+		}
+		ids = intersect(ids, hit)
+	}
+	if first {
+		ids = make([]int, w.S.Len())
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	return ids
+}
+
+// intersect merges two ascending id lists.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// evalRows matches the bind filter against the candidate records and
+// verifies every pushed predicate per binding row (index lookups narrow,
+// the predicates decide), then replays the projection steps.
+func (w *Wrapper) evalRows(q *pushQuery, ids []int, params map[string]tab.Cell) (*tab.Tab, error) {
+	root := data.Elem("records")
+	for _, id := range ids {
+		root.Kids = append(root.Kids, w.S.recs[id])
+	}
+	t := q.f.MatchForest(nil, data.Forest{root})
+	if len(q.preds) > 0 {
+		kept := tab.New(t.Cols...)
+		for _, row := range t.Rows {
+			ok, err := q.holds(t, row, params)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept.AddRow(row)
+			}
+		}
+		t = kept
+	}
+	for _, cols := range q.projects {
+		t = t.Project(cols...)
+	}
+	if len(t.Cols) != len(q.outCols) {
+		return nil, fmt.Errorf("feed: pushed plan columns %v do not line up with %v", t.Cols, q.outCols)
+	}
+	for i, c := range t.Cols {
+		if c != q.outCols[i] {
+			return nil, fmt.Errorf("feed: pushed plan columns %v do not line up with %v", t.Cols, q.outCols)
+		}
+	}
+	return t, nil
+}
+
+// holds evaluates every pushed predicate on one binding row.
+func (q *pushQuery) holds(t *tab.Tab, row tab.Row, params map[string]tab.Cell) (bool, error) {
+	for i := range q.preds {
+		p := &q.preds[i]
+		l, err := operand(p.l, t, row, params)
+		if err != nil {
+			return false, err
+		}
+		r, err := operand(p.r, t, row, params)
+		if err != nil {
+			return false, err
+		}
+		if p.prefix {
+			pa, ok := r.AsAtom()
+			if !ok || pa.Kind != data.KindString {
+				return false, fmt.Errorf("feed: prefix expects a string prefix argument")
+			}
+			if !strings.HasPrefix(cellText(l), pa.S) {
+				return false, nil
+			}
+			continue
+		}
+		if !l.Equal(r) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// operand resolves one predicate operand on a row: a constant, a variable
+// bound by the filter, or a DJoin parameter.
+func operand(e algebra.Expr, t *tab.Tab, row tab.Row, params map[string]tab.Cell) (tab.Cell, error) {
+	switch x := e.(type) {
+	case algebra.Const:
+		return tab.AtomCell(x.Atom), nil
+	case algebra.Var:
+		if i := t.ColIndex(x.Name); i >= 0 {
+			return row[i], nil
+		}
+		if c, ok := params[x.Name]; ok {
+			return c, nil
+		}
+		return tab.Null(), fmt.Errorf("feed: predicate variable %s is not bound", x.Name)
+	default:
+		return tab.Null(), fmt.Errorf("feed: unsupported predicate operand %T", e)
+	}
+}
+
+// Push implements algebra.Source: compile, narrow through the indexes,
+// match, verify, project.
+func (w *Wrapper) Push(plan algebra.Op, params map[string]tab.Cell) (*tab.Tab, error) {
+	q, err := w.compilePush(plan, params)
+	if err != nil {
+		return nil, err
+	}
+	return w.evalRows(q, w.candidates(q), params)
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/datagen"
+	"repro/internal/o2wrap"
+)
+
+// A wrapper exporting a malformed capability description must fail
+// ImportInterface with an error naming the source, not hand the mediator a
+// half-parsed interface that breaks planning later.
+func TestImportInterfaceNamesBadSource(t *testing.T) {
+	ow := o2wrap.New("o2artifact", datagen.PaperDB())
+	bad := capability.NewInterface("o2artifact")
+	// An operation without a kind serializes fine but must be rejected on
+	// import.
+	bad.Operations = append(bad.Operations, capability.Operation{Name: "eq"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, Exported{Source: ow, Interface: bad})
+	defer srv.Close()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.ImportInterface()
+	if err == nil {
+		t.Fatal("import of a malformed interface must fail")
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		t.Fatalf("malformed description must not look like a missing one: %v", err)
+	}
+	for _, want := range []string{"o2artifact", ln.Addr().String(), `<operation name="eq">`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q must mention %q", err, want)
+		}
+	}
+}
+
+// A source that exports no interface at all keeps answering with a
+// RemoteError — the signal the console uses to degrade to fetch-only.
+func TestImportInterfaceAbsentIsRemoteError(t *testing.T) {
+	ow := o2wrap.New("o2artifact", datagen.PaperDB())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, Exported{Source: ow})
+	defer srv.Close()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.ImportInterface()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError for an absent interface, got %v", err)
+	}
+}

@@ -1246,13 +1246,20 @@ func (c *Client) PushBatchContext(ctx context.Context, plan algebra.Op, bindings
 	return out, nil
 }
 
-// ImportInterface fetches the wrapper's capability interface.
+// ImportInterface fetches the wrapper's capability interface. Transport
+// and remote errors pass through unwrapped (a RemoteError means the source
+// legitimately exports no interface); a malformed description fails with
+// the source named, so a bad export is diagnosed at import time.
 func (c *Client) ImportInterface() (*capability.Interface, error) {
 	resp, err := c.roundTrip(`<interface-request/>`)
 	if err != nil {
 		return nil, err
 	}
-	return capability.FromXML(resp)
+	iface, err := capability.FromXML(resp)
+	if err != nil {
+		return nil, fmt.Errorf("wire: source %s at %s: malformed interface description: %w", c.name, c.addr, err)
+	}
+	return iface, nil
 }
 
 // ImportStructures fetches the wrapper's structural models.

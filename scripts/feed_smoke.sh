@@ -1,0 +1,98 @@
+#!/bin/sh
+# feed_smoke.sh — end-to-end bulk-feed wrapper smoke test.
+#
+# Exercises the whole third-family path as real processes:
+#   1. feed-wrapper -write-dump produces the deterministic zipped corpus.
+#   2. feed-wrapper -port 0 ingests it through the streaming pipeline
+#      (quarantining the malformed records) and serves the wire protocol;
+#      the bound port is parsed from the startup line.
+#   3. The mediator console connects, runs a query whose journal equality
+#      is within the feed's capability profile and whose year comparison is
+#      not, checks rows come back, and `explain` confirms the split: a
+#      SourceQuery pushed to bulkfeed under a mediator-side Select.
+#
+# Requires only the go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "feed-smoke: building binaries"
+go build -o "$WORK/feed-wrapper" ./cmd/feed-wrapper
+go build -o "$WORK/yat-mediator" ./cmd/yat-mediator
+
+echo "feed-smoke: writing the zipped corpus fixture"
+"$WORK/feed-wrapper" -write-dump "$WORK/corpus.xml.zip" -records 600 >"$WORK/write.out"
+if ! grep -q "wrote 600 lines" "$WORK/write.out"; then
+    echo "feed-smoke: FAIL — corpus write did not report 600 lines" >&2
+    cat "$WORK/write.out" >&2
+    exit 1
+fi
+
+"$WORK/feed-wrapper" -port 0 -dump "$WORK/corpus.xml.zip" >"$WORK/feed.log" 2>&1 &
+PIDS="$PIDS $!"
+
+i=0
+until grep -q "is running at" "$WORK/feed.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "feed-smoke: FAIL — feed-wrapper did not come up" >&2
+        cat "$WORK/feed.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# The ingest pipeline must have quarantined the corpus's malformed lines
+# (4% of 600) rather than aborting on them.
+if ! grep -q "records ingested, [1-9][0-9]* quarantined" "$WORK/feed.log"; then
+    echo "feed-smoke: FAIL — startup line reports no quarantined records" >&2
+    cat "$WORK/feed.log" >&2
+    exit 1
+fi
+
+PORT="$(sed -n 's/.*is running at [^:]*:\([0-9][0-9]*\) .*/\1/p' "$WORK/feed.log")"
+if [ -z "$PORT" ]; then
+    echo "feed-smoke: FAIL — could not parse the bound port" >&2
+    cat "$WORK/feed.log" >&2
+    exit 1
+fi
+
+cat >"$WORK/session.txt" <<EOF
+connect bulkfeed 127.0.0.1:$PORT
+query MAKE result[ title: \$t, journal: \$j ]
+MATCH records WITH records[ *record[ title: \$t, journal: \$j, year: \$y ] ]
+WHERE \$j = "Journal of Modern Art" AND \$y > 1900 ;
+explain MAKE result[ title: \$t, journal: \$j ]
+MATCH records WITH records[ *record[ title: \$t, journal: \$j, year: \$y ] ]
+WHERE \$j = "Journal of Modern Art" AND \$y > 1900 ;
+quit
+EOF
+
+echo "feed-smoke: querying the live wrapper through the mediator console"
+"$WORK/yat-mediator" -script "$WORK/session.txt" >"$WORK/console.out" 2>&1
+
+# Rows came back, the supported predicate was pushed as a source query,
+# and the unsupported ordering comparison stayed mediator-side.
+for want in 'result[title:' 'SourceQuery(bulkfeed)' 'Select($y > 1900)'; do
+    if ! grep -qF "$want" "$WORK/console.out"; then
+        echo "feed-smoke: FAIL — console output lacks \"$want\"" >&2
+        cat "$WORK/console.out" >&2
+        exit 1
+    fi
+done
+if grep -q "^error:" "$WORK/console.out"; then
+    echo "feed-smoke: FAIL — console reported an error" >&2
+    cat "$WORK/console.out" >&2
+    exit 1
+fi
+
+echo "feed-smoke: OK"
